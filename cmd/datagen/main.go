@@ -1,0 +1,102 @@
+// Command datagen emits the benchmark data sets as CSV files.
+//
+// Usage:
+//
+//	datagen -workload mobile -tuples 1000 -out calls.csv
+//	datagen -workload tpch -scale 1.0 -dir tpch/
+//	datagen -workload flights -cities 4 -per-leg 100 -dir flights/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/relation"
+	"repro/internal/workloads"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	workload := flag.String("workload", "mobile", "mobile | tpch | flights")
+	tuples := flag.Int("tuples", 1000, "mobile: call records to generate")
+	scale := flag.Float64("scale", 1.0, "tpch: DBGEN-style scale unit")
+	cities := flag.Int("cities", 4, "flights: cities on the route")
+	perLeg := flag.Int("per-leg", 100, "flights: flights per leg")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("out", "", "output CSV (single-relation workloads)")
+	dir := flag.String("dir", ".", "output directory (multi-relation workloads)")
+	flag.Parse()
+
+	writeRel := func(r *relation.Relation, path string) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := relation.WriteCSV(f, r); err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d tuples\n", path, r.Cardinality())
+		return nil
+	}
+
+	switch *workload {
+	case "mobile":
+		cfg := workloads.DefaultMobileConfig()
+		cfg.Tuples = *tuples
+		cfg.Seed = *seed
+		path := *out
+		if path == "" {
+			path = "calls.csv"
+		}
+		return writeRel(workloads.MobileTable(cfg), path)
+	case "tpch":
+		cfg := workloads.DefaultTPCHConfig()
+		cfg.Scale = *scale
+		cfg.Seed = *seed
+		db, err := workloads.TPCHDB(cfg, 100)
+		if err != nil {
+			return err
+		}
+		for _, name := range []string{"nation", "supplier", "customer", "orders", "lineitem", "part"} {
+			r, err := db.Relation(name)
+			if err != nil {
+				return err
+			}
+			if err := writeRel(r, filepath.Join(*dir, name+".csv")); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "flights":
+		cfg := workloads.DefaultFlightsConfig()
+		cfg.Cities = *cities
+		cfg.FlightsPerLeg = *perLeg
+		cfg.Seed = *seed
+		db, err := workloads.FlightsDB(cfg, 100)
+		if err != nil {
+			return err
+		}
+		for leg := 0; leg < cfg.Cities-1; leg++ {
+			name := workloads.LegName(leg)
+			r, err := db.Relation(name)
+			if err != nil {
+				return err
+			}
+			if err := writeRel(r, filepath.Join(*dir, name+".csv")); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown workload %q", *workload)
+	}
+}

@@ -1,0 +1,51 @@
+// Command thetabench regenerates the paper's evaluation tables and
+// figures on the simulated cluster.
+//
+// Usage:
+//
+//	thetabench [-quick] [experiment ...]
+//
+// With no arguments every experiment runs in paper order. Experiment
+// ids: table1 fig6 fig7a fig7b fig8 table2 fig9 fig10 fig11 table3
+// fig12 fig13 ablation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced sweeps (seconds instead of minutes)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: thetabench [-quick] [-list] [experiment ...]\n")
+		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(bench.Experiments(), " "))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, id := range bench.Experiments() {
+			fmt.Println(id)
+		}
+		return
+	}
+	suite := bench.NewSuite(*quick)
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = bench.Experiments()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		if err := suite.Run(id, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "thetabench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[%s completed in %s]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,181 @@
+// Command thetajoin plans and executes a multi-way theta-join over CSV
+// relations using the paper's optimizer.
+//
+// Usage:
+//
+//	thetajoin -rel A=a.csv -rel B=b.csv -cond "A.x < B.y" [-cond ...] \
+//	          [-kp 96] [-explain] [-limit 20] [-out result.csv]
+//
+// Each -rel flag registers a relation from a CSV file written in the
+// typed-header format (name:kind,...). Each -cond flag adds one theta
+// condition "Rel.col OP Rel.col" with OP ∈ {<, <=, =, >=, >, <>}.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/mr"
+	"repro/internal/predicate"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ", ") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "thetajoin:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var rels, conds multiFlag
+	flag.Var(&rels, "rel", "relation as NAME=path.csv (repeatable)")
+	flag.Var(&conds, "cond", `condition "A.x < B.y" (repeatable)`)
+	queryStr := flag.String("query", "", `full query, e.g. "FROM a.csv t1, b.csv t2 WHERE t1.x < t2.y" (aliases resolve against -rel names)`)
+	kp := flag.Int("kp", 96, "available processing units")
+	explain := flag.Bool("explain", false, "print the plan without executing")
+	limit := flag.Int("limit", 20, "max result rows to print (-1 = all)")
+	outPath := flag.String("out", "", "write full result CSV to this path")
+	flag.Parse()
+
+	// A -query can alias one table several times (self-joins), so a
+	// single -rel suffices with it; -cond mode needs two relations.
+	if *queryStr != "" {
+		if len(rels) < 1 {
+			flag.Usage()
+			return fmt.Errorf("-query needs at least one -rel")
+		}
+	} else if len(rels) < 2 || len(conds) == 0 {
+		flag.Usage()
+		return fmt.Errorf("need at least two -rel and one -cond (or a -query)")
+	}
+	var relations []*relation.Relation
+	var names []string
+	for _, spec := range rels {
+		eq := strings.IndexByte(spec, '=')
+		if eq <= 0 {
+			return fmt.Errorf("bad -rel %q (want NAME=path.csv)", spec)
+		}
+		name, path := spec[:eq], spec[eq+1:]
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		r, err := relation.ReadCSV(f, name)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		relations = append(relations, r)
+		names = append(names, name)
+	}
+	db, err := core.NewDB(1000, 1, relations...)
+	if err != nil {
+		return err
+	}
+	var q *query.Query
+	if *queryStr != "" {
+		var aliases map[string]string
+		q, aliases, err = query.Parse("query", *queryStr)
+		if err != nil {
+			return err
+		}
+		// Register aliases against the loaded relations.
+		loaded := map[string]bool{}
+		for _, n := range names {
+			loaded[n] = true
+		}
+		for alias, table := range aliases {
+			if alias == table {
+				if !loaded[table] {
+					return fmt.Errorf("-query references unknown relation %q", table)
+				}
+				continue
+			}
+			if err := db.Alias(alias, table); err != nil {
+				return err
+			}
+		}
+	} else {
+		var parsed []predicate.Condition
+		for _, c := range conds {
+			pc, err := parseCondition(c)
+			if err != nil {
+				return err
+			}
+			parsed = append(parsed, pc)
+		}
+		q, err = query.New("query", names, parsed)
+		if err != nil {
+			return err
+		}
+	}
+	cfg := mr.DefaultConfig()
+	if cfg.MapSlots > *kp {
+		cfg.MapSlots = *kp
+	}
+	cfg.ReduceSlots = *kp
+	pl := core.NewPlanner(cfg, *kp)
+	plan, err := pl.Plan(q, db)
+	if err != nil {
+		return err
+	}
+	fmt.Println(plan)
+	if *explain {
+		return nil
+	}
+	res, err := pl.Execute(plan, db)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("result: %d rows, simulated makespan %.1fs, %.2f GB shuffled\n",
+		res.Output.Cardinality(), res.Makespan, float64(res.ShuffleBytes)/1e9)
+	shown := 0
+	for _, t := range res.Output.Tuples {
+		if *limit >= 0 && shown >= *limit {
+			fmt.Printf("... (%d more rows)\n", res.Output.Cardinality()-shown)
+			break
+		}
+		fmt.Println(t)
+		shown++
+	}
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := relation.WriteCSV(f, res.Output); err != nil {
+			return err
+		}
+		fmt.Println("full result written to", *outPath)
+	}
+	return nil
+}
+
+// parseCondition parses "A.x < B.y" (whitespace-separated).
+func parseCondition(s string) (predicate.Condition, error) {
+	fields := strings.Fields(s)
+	if len(fields) != 3 {
+		return predicate.Condition{}, fmt.Errorf("bad condition %q (want \"A.x OP B.y\")", s)
+	}
+	op, err := predicate.ParseOp(fields[1])
+	if err != nil {
+		return predicate.Condition{}, err
+	}
+	l := strings.SplitN(fields[0], ".", 2)
+	r := strings.SplitN(fields[2], ".", 2)
+	if len(l) != 2 || len(r) != 2 {
+		return predicate.Condition{}, fmt.Errorf("bad condition %q: operands must be Rel.col", s)
+	}
+	return predicate.C(l[0], l[1], op, r[0], r[1]), nil
+}

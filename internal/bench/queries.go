@@ -1,0 +1,244 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/dfs"
+	"repro/internal/query"
+	"repro/internal/workloads"
+)
+
+// Table2 reports the mobile benchmark query statistics: relation
+// count, inequality functions, join condition count and the measured
+// result selectivity on the generated data.
+func (s *Suite) Table2() (*Table, error) {
+	t := &Table{
+		Title:   "Table 2: mobile benchmark query statistics",
+		Columns: []string{"Q", "Relations Cnt.", "Inequality Func.", "Join Cnt.", "Result Sel."},
+	}
+	tuples := 120
+	if s.Quick {
+		tuples = 60
+	}
+	for n := 1; n <= 4; n++ {
+		q, err := workloads.MobileQuery(n)
+		if err != nil {
+			return nil, err
+		}
+		cfg := workloads.DefaultMobileConfig()
+		cfg.Tuples = tuples
+		cfg.Seed = int64(n)
+		db, err := workloads.MobileDB(cfg, 200)
+		if err != nil {
+			return nil, err
+		}
+		sel, err := core.ExactQuerySelectivity(q, db)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(q.Name,
+			fmt.Sprintf("%d", len(q.Relations)),
+			opsString(q),
+			fmt.Sprintf("%d", len(q.Conditions)),
+			fmt.Sprintf("%.5f", sel))
+	}
+	return t, nil
+}
+
+// Table3 reports the TPC-H query statistics.
+func (s *Suite) Table3() (*Table, error) {
+	t := &Table{
+		Title:   "Table 3: TPC-H query statistics",
+		Columns: []string{"Q", "Relations Cnt.", "Inequality Func.", "Join Cnt.", "Result Sel."},
+	}
+	scale := 0.4
+	if s.Quick {
+		scale = 0.2
+	}
+	for _, n := range []int{7, 17, 18, 21} {
+		q, err := workloads.TPCHQuery(n)
+		if err != nil {
+			return nil, err
+		}
+		cfg := workloads.DefaultTPCHConfig()
+		cfg.Scale = scale
+		cfg.Seed = int64(n)
+		db, err := workloads.TPCHDB(cfg, 200)
+		if err != nil {
+			return nil, err
+		}
+		sel, err := core.ExactQuerySelectivity(q, db)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(q.Name,
+			fmt.Sprintf("%d", len(q.Relations)),
+			opsString(q),
+			fmt.Sprintf("%d", len(q.Conditions)),
+			fmt.Sprintf("%.2e", sel))
+	}
+	return t, nil
+}
+
+func opsString(q *query.Query) string {
+	ops := core.InequalityFuncs(q)
+	out := "{"
+	for i, op := range ops {
+		if i > 0 {
+			out += ","
+		}
+		out += op.String()
+	}
+	return out + "}"
+}
+
+// comparisonRow runs one (query, volume) cell of Fig. 9/10/12/13:
+// the paper's method plus the three baselines.
+func (s *Suite) comparisonRow(q *query.Query, db *core.DB, kp int) ([]float64, error) {
+	cfg := s.Cfg
+	if cfg.MapSlots > kp {
+		cfg.MapSlots = kp
+	}
+	cfg.ReduceSlots = kp
+
+	pl := core.NewPlanner(cfg, kp)
+	pl.Opts.MaxCells = 1 << 14
+	_, res, err := pl.Run(q, db)
+	if err != nil {
+		return nil, fmt.Errorf("our method on %s: %w", q.Name, err)
+	}
+	times := []float64{res.Makespan}
+	params := pl.Params
+	// Baselines request the cluster's configured reducer capacity (the
+	// "as many reduce tasks as possible" policy) even when the
+	// available units kP are fewer — the k_P obliviousness the paper's
+	// Fig. 10/13 exposes.
+	for _, st := range []baselines.Strategy{baselines.YSmart(), baselines.Hive(), baselines.Pig()} {
+		bres, err := baselines.Run(st, cfg, params, q, db, s.Cfg.ReduceSlots)
+		if err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", st.Name, q.Name, err)
+		}
+		times = append(times, bres.TotalTime)
+	}
+	return times, nil
+}
+
+// MobileComparison is Fig. 9 (kp=96) and Fig. 10 (kp=64): execution
+// time of Q1–Q4 over the mobile data at 20/100/500 GB.
+func (s *Suite) MobileComparison(kp int) (*Table, error) {
+	t := &Table{
+		Title:   fmt.Sprintf("Fig %s: mobile queries, kP <= %d", figNameMobile(kp), kp),
+		Columns: []string{"Q", "volume", "Our Method(s)", "YSmart(s)", "Hive(s)", "Pig(s)"},
+	}
+	volumes := []float64{20, 100, 500}
+	queries := []int{1, 2, 3, 4}
+	if s.Quick {
+		volumes = []float64{20}
+		queries = []int{1, 3}
+	}
+	for _, qn := range queries {
+		q, err := workloads.MobileQuery(qn)
+		if err != nil {
+			return nil, err
+		}
+		for _, gb := range volumes {
+			mcfg := workloads.DefaultMobileConfig()
+			mcfg.Tuples = workloads.MobileTuplesFor(qn, gb)
+			mcfg.NominalGB = gb
+			mcfg.Seed = int64(qn*1000) + int64(gb)
+			db, err := workloads.MobileDB(mcfg, 300)
+			if err != nil {
+				return nil, err
+			}
+			times, err := s.comparisonRow(q, db, kp)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(q.Name, fmtGB(gb),
+				fmtSec(times[0]), fmtSec(times[1]), fmtSec(times[2]), fmtSec(times[3]))
+		}
+	}
+	return t, nil
+}
+
+func figNameMobile(kp int) string {
+	if kp >= 96 {
+		return "9"
+	}
+	return "10"
+}
+
+// TPCHComparison is Fig. 12 (kp=96) and Fig. 13 (kp=64): Q7, Q17, Q18
+// and Q21 over 200/500/1000 GB TPC-H data.
+func (s *Suite) TPCHComparison(kp int) (*Table, error) {
+	fig := "12"
+	if kp < 96 {
+		fig = "13"
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Fig %s: TPC-H queries, kP <= %d", fig, kp),
+		Columns: []string{"Q", "volume", "Our Method(s)", "YSmart(s)", "Hive(s)", "Pig(s)"},
+	}
+	volumes := []float64{200, 500, 1000}
+	queries := []int{7, 17, 18, 21}
+	if s.Quick {
+		volumes = []float64{200}
+		queries = []int{17}
+	}
+	for _, qn := range queries {
+		q, err := workloads.TPCHQuery(qn)
+		if err != nil {
+			return nil, err
+		}
+		for _, gb := range volumes {
+			tcfg := workloads.DefaultTPCHConfig()
+			tcfg.Scale = workloads.TPCHRowsFor(qn, gb)
+			tcfg.NominalGB = gb
+			tcfg.Seed = int64(qn*1000) + int64(gb)
+			db, err := workloads.TPCHDB(tcfg, 300)
+			if err != nil {
+				return nil, err
+			}
+			times, err := s.comparisonRow(q, db, kp)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(q.Name, fmtGB(gb),
+				fmtSec(times[0]), fmtSec(times[1]), fmtSec(times[2]), fmtSec(times[3]))
+		}
+	}
+	return t, nil
+}
+
+// Fig11 compares data-loading time across methods and volumes.
+func (s *Suite) Fig11() (*Table, error) {
+	t := &Table{
+		Title:   "Fig 11: data loading time",
+		Columns: []string{"volume", "Hive(s)", "Plain Upload(s)", "Our Method(s)"},
+	}
+	volumes := []float64{1, 10, 50, 100, 250, 500}
+	if s.Quick {
+		volumes = []float64{1, 100, 500}
+	}
+	for _, gb := range volumes {
+		var secs [3]float64
+		for i, m := range []dfs.LoadMethod{dfs.LoadHive, dfs.LoadPlain, dfs.LoadOurs} {
+			store, err := dfs.NewStore(s.Cfg, 12)
+			if err != nil {
+				return nil, err
+			}
+			mcfg := workloads.DefaultMobileConfig()
+			mcfg.Tuples = 2000
+			mcfg.NominalGB = gb
+			rep, err := store.Upload(workloads.MobileTable(mcfg), m, 1000, 1)
+			if err != nil {
+				return nil, err
+			}
+			secs[i] = rep.Seconds
+		}
+		t.AddRow(fmtGB(gb), fmtSec(secs[0]), fmtSec(secs[1]), fmtSec(secs[2]))
+	}
+	return t, nil
+}

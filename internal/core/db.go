@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/relation"
+)
+
+// RowIDColumn is the synthetic unique row identifier column added to
+// every registered base relation. The paper's merge steps combine job
+// outputs "using the primary keys … only output keys or data IDs
+// involved" (§4.2); RowIDColumn is that data ID.
+const RowIDColumn = "rid"
+
+// DB registers the base relations a query runs against, together with
+// the sampled statistics catalog the optimizer consumes.
+type DB struct {
+	rels    map[string]*relation.Relation
+	aliasOf map[string]string
+	Catalog *relation.Catalog
+}
+
+// BaseName resolves an alias to the relation it was created from;
+// non-alias names map to themselves. Baseline planners use this to
+// recognise self-joins scanning the same physical table (YSmart's
+// input correlation).
+func (db *DB) BaseName(name string) string {
+	if base, ok := db.aliasOf[name]; ok {
+		return base
+	}
+	return name
+}
+
+// NewDB registers relations, adding a unique RowIDColumn to any
+// relation lacking one, and analyzes them (sample size and seed as
+// given; sampleSize <= 0 uses 1000).
+func NewDB(sampleSize int, seed int64, rels ...*relation.Relation) (*DB, error) {
+	db := &DB{
+		rels:    make(map[string]*relation.Relation, len(rels)),
+		aliasOf: make(map[string]string),
+	}
+	for _, r := range rels {
+		if r == nil {
+			return nil, fmt.Errorf("core: nil relation")
+		}
+		if _, dup := db.rels[r.Name]; dup {
+			return nil, fmt.Errorf("core: duplicate relation %q", r.Name)
+		}
+		withID, err := EnsureRowIDs(r)
+		if err != nil {
+			return nil, err
+		}
+		db.rels[r.Name] = withID
+	}
+	db.Analyze(sampleSize, seed)
+	return db, nil
+}
+
+// Analyze (re)builds the statistics catalog.
+func (db *DB) Analyze(sampleSize int, seed int64) {
+	all := make([]*relation.Relation, 0, len(db.rels))
+	for _, r := range db.rels {
+		all = append(all, r)
+	}
+	db.Catalog = relation.NewCatalog(all, sampleSize, rand.New(rand.NewSource(seed)))
+}
+
+// Relation returns a registered relation.
+func (db *DB) Relation(name string) (*relation.Relation, error) {
+	r, ok := db.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("core: no relation %q", name)
+	}
+	return r, nil
+}
+
+// Names returns the registered relation names (unordered).
+func (db *DB) Names() []string {
+	out := make([]string, 0, len(db.rels))
+	for n := range db.rels {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Alias registers newName as a second handle on an existing relation's
+// tuples — how self-joins ("FROM table t1, table t2") enter the
+// planner, which requires distinct relation names per query vertex.
+func (db *DB) Alias(newName, existing string) error {
+	if _, dup := db.rels[newName]; dup {
+		return fmt.Errorf("core: alias %q already registered", newName)
+	}
+	src, ok := db.rels[existing]
+	if !ok {
+		return fmt.Errorf("core: alias target %q not registered", existing)
+	}
+	cp := *src
+	cp.Name = newName
+	db.rels[newName] = &cp
+	db.aliasOf[newName] = db.BaseName(existing)
+	if db.Catalog != nil {
+		if ts, ok := db.Catalog.Tables[existing]; ok {
+			tsCopy := *ts
+			tsCopy.Relation = newName
+			db.Catalog.Tables[newName] = &tsCopy
+		}
+	}
+	return nil
+}
+
+// EnsureRowIDs returns a relation guaranteed to carry a unique integer
+// RowIDColumn. If the column exists it is validated for uniqueness;
+// otherwise a copy with an appended sequence column is returned.
+func EnsureRowIDs(r *relation.Relation) (*relation.Relation, error) {
+	if idx, ok := r.Schema.Lookup(RowIDColumn); ok {
+		seen := make(map[int64]bool, len(r.Tuples))
+		for _, t := range r.Tuples {
+			id := t[idx].Int64()
+			if seen[id] {
+				return nil, fmt.Errorf("core: relation %s has duplicate %s %d", r.Name, RowIDColumn, id)
+			}
+			seen[id] = true
+		}
+		return r, nil
+	}
+	cols := append(r.Schema.Columns(), relation.Column{Name: RowIDColumn, Kind: relation.KindInt})
+	schema, err := relation.NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(r.Name, schema)
+	out.VolumeMultiplier = r.VolumeMultiplier
+	out.Tuples = make([]relation.Tuple, len(r.Tuples))
+	for i, t := range r.Tuples {
+		nt := make(relation.Tuple, 0, len(t)+1)
+		nt = append(nt, t...)
+		nt = append(nt, relation.Int(int64(i)))
+		out.Tuples[i] = nt
+	}
+	return out, nil
+}

@@ -1,0 +1,534 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/mr"
+	"repro/internal/predicate"
+	"repro/internal/relation"
+)
+
+// JobKind distinguishes the physical operators a planned job can use.
+type JobKind uint8
+
+const (
+	// KindHilbertTheta is Algorithm 1: the cross-product hyper-cube of
+	// the job's relations partitioned by a Hilbert curve; handles any
+	// theta conditions.
+	KindHilbertTheta JobKind = iota
+	// KindHashEqui is the classic repartition equi-join: usable when
+	// every condition of the job is an equality between the same two
+	// relations — the join key becomes the (composite) partition key
+	// with no tuple duplication.
+	KindHashEqui
+	// KindShareGrid is the Afrati–Ullman share-based one-job multiway
+	// join [2] with reducer-side theta residuals: usable when the
+	// job's equality conditions connect all of its relations.
+	KindShareGrid
+)
+
+// String names the kind.
+func (k JobKind) String() string {
+	switch k {
+	case KindHilbertTheta:
+		return "hilbert-theta"
+	case KindHashEqui:
+		return "hash-equi"
+	case KindShareGrid:
+		return "share-grid"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// OrderRelations produces a join order for the relations of a
+// conjunction in which every relation after the first shares at least
+// one condition with an earlier relation, so the reduce-side
+// backtracking join can prune as it extends. Chain-shaped condition
+// sets yield the chain order.
+func OrderRelations(conds predicate.Conjunction) ([]string, error) {
+	if len(conds) == 0 {
+		return nil, fmt.Errorf("core: empty conjunction")
+	}
+	rels := conds.Relations()
+	deg := make(map[string]int, len(rels))
+	for _, c := range conds {
+		deg[c.Left]++
+		deg[c.Right]++
+	}
+	// Start from a minimum-degree relation (a chain endpoint when the
+	// set is a chain), breaking ties lexicographically.
+	start := rels[0]
+	for _, r := range rels {
+		if deg[r] < deg[start] || (deg[r] == deg[start] && r < start) {
+			start = r
+		}
+	}
+	order := []string{start}
+	placed := map[string]bool{start: true}
+	for len(order) < len(rels) {
+		// Next: an unplaced relation connected to a placed one,
+		// preferring the one with most conditions into the placed set.
+		bestRel, bestLinks := "", 0
+		for _, r := range rels {
+			if placed[r] {
+				continue
+			}
+			links := 0
+			for _, c := range conds {
+				if other, ok := c.Other(r); ok && placed[other] {
+					links++
+				}
+			}
+			if links > bestLinks || (links == bestLinks && links > 0 && (bestRel == "" || r < bestRel)) {
+				bestRel, bestLinks = r, links
+			}
+		}
+		if bestRel == "" {
+			return nil, fmt.Errorf("core: conjunction %s is not connected", conds)
+		}
+		order = append(order, bestRel)
+		placed[bestRel] = true
+	}
+	return order, nil
+}
+
+// AllEquiSamePair reports whether every condition is an equality
+// between the same two relations — the KindHashEqui precondition.
+func AllEquiSamePair(conds predicate.Conjunction) bool {
+	if len(conds) == 0 {
+		return false
+	}
+	rels := conds.Relations()
+	if len(rels) != 2 {
+		return false
+	}
+	for _, c := range conds {
+		if !c.Op.IsEquality() {
+			return false
+		}
+	}
+	return true
+}
+
+// prefixedSchema concatenates relation schemas with "rel." prefixes,
+// the output schema of a join job over the ordered relations.
+func prefixedSchema(rels []*relation.Relation) *relation.Schema {
+	var cols []relation.Column
+	for _, r := range rels {
+		for i := 0; i < r.Schema.Len(); i++ {
+			c := r.Schema.Column(i)
+			cols = append(cols, relation.Column{Name: r.Name + "." + c.Name, Kind: c.Kind})
+		}
+	}
+	return relation.MustSchema(cols...)
+}
+
+// resolveColumn finds "relName.col" inside r: either r IS relName (a
+// base relation, bare column names) or r is a join output carrying
+// prefixed columns.
+func resolveColumn(r *relation.Relation, relName, col string) (int, bool) {
+	if idx, ok := r.Schema.Lookup(relName + "." + col); ok {
+		return idx, true
+	}
+	if r.Name == relName {
+		if idx, ok := r.Schema.Lookup(col); ok {
+			return idx, true
+		}
+	}
+	return 0, false
+}
+
+// boundCond is a condition compiled against the job's relation order:
+// hi is the later ordinal (the extension step that can evaluate it),
+// lo the earlier.
+type boundCond struct {
+	cond   predicate.Condition
+	lo, hi int
+	loCol  int // column ordinal in relation lo
+	hiCol  int // column ordinal in relation hi
+	// loOff/hiOff are the additive constants on each side, oriented so
+	// that the predicate reads: lo.val+loOff op hi.val+hiOff with op
+	// oriented lo→hi.
+	loOff, hiOff float64
+	op           predicate.Op
+}
+
+func bindConditions(conds predicate.Conjunction, rels []*relation.Relation) ([]boundCond, error) {
+	ordinal := make(map[string]int, len(rels))
+	for i, r := range rels {
+		ordinal[r.Name] = i
+	}
+	var out []boundCond
+	for _, c := range conds {
+		li, ok := ordinal[c.Left]
+		if !ok {
+			return nil, fmt.Errorf("core: condition %s references %q outside the job", c, c.Left)
+		}
+		ri, ok := ordinal[c.Right]
+		if !ok {
+			return nil, fmt.Errorf("core: condition %s references %q outside the job", c, c.Right)
+		}
+		oriented := c
+		lo, hi := li, ri
+		if li > ri {
+			oriented = c.Reversed()
+			lo, hi = ri, li
+		}
+		loCol, ok := resolveColumn(rels[lo], oriented.Left, oriented.LeftColumn)
+		if !ok {
+			return nil, fmt.Errorf("core: condition %s: no column %s.%s", c, oriented.Left, oriented.LeftColumn)
+		}
+		hiCol, ok := resolveColumn(rels[hi], oriented.Right, oriented.RightColumn)
+		if !ok {
+			return nil, fmt.Errorf("core: condition %s: no column %s.%s", c, oriented.Right, oriented.RightColumn)
+		}
+		out = append(out, boundCond{
+			cond: c, lo: lo, hi: hi,
+			loCol: loCol, hiCol: hiCol,
+			loOff: oriented.LeftOffset, hiOff: oriented.RightOffset,
+			op: oriented.Op,
+		})
+	}
+	return out, nil
+}
+
+// ridOrdinal returns the RowIDColumn ordinal for a base or prefixed
+// relation.
+func ridOrdinal(r *relation.Relation) (int, error) {
+	if idx, ok := resolveColumn(r, r.Name, RowIDColumn); ok {
+		return idx, nil
+	}
+	// Join outputs: any column ending in ".rid" — prefer the first.
+	for i := 0; i < r.Schema.Len(); i++ {
+		name := r.Schema.Column(i).Name
+		if len(name) > len(RowIDColumn) && name[len(name)-len(RowIDColumn)-1:] == "."+RowIDColumn {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("core: relation %s lacks a %s column", r.Name, RowIDColumn)
+}
+
+// BuildThetaJob constructs the Algorithm 1 MapReduce job: every tuple
+// is routed to the components its cell coordinate touches; reducers
+// backtrack over the per-relation groups, verify the conditions, and
+// emit exactly the combinations whose hyper-cube cell falls inside
+// their own component.
+func BuildThetaJob(name string, rels []*relation.Relation, conds predicate.Conjunction, kr, maxCells int) (*mr.Job, *Partitioner, error) {
+	if len(rels) < 2 {
+		return nil, nil, fmt.Errorf("core: theta job needs >= 2 relations")
+	}
+	cards := make([]int, len(rels))
+	ridIdx := make([]int, len(rels))
+	for i, r := range rels {
+		if r.Cardinality() == 0 {
+			// An empty input empties the join; return a trivial job.
+			return emptyJob(name, rels, kr), nil, nil
+		}
+		cards[i] = r.Cardinality()
+		ri, err := ridOrdinal(r)
+		if err != nil {
+			return nil, nil, err
+		}
+		ridIdx[i] = ri
+	}
+	part, err := NewPartitioner(cards, kr, maxCells)
+	if err != nil {
+		return nil, nil, err
+	}
+	bound, err := bindConditions(conds, rels)
+	if err != nil {
+		return nil, nil, err
+	}
+	salt := jobSalt(name)
+
+	inputs := make([]mr.Input, len(rels))
+	for i := range rels {
+		dim := i
+		rid := ridIdx[i]
+		card := cards[i]
+		inputs[i] = mr.Input{
+			Rel: rels[i],
+			Map: func(t relation.Tuple, emit mr.Emitter) {
+				id := tupleGlobalID(t[rid], card, salt, dim)
+				for _, comp := range part.ComponentsOf(dim, id) {
+					emit(uint64(comp), uint8(dim), t)
+				}
+			},
+		}
+	}
+	reduce := makeThetaReducer(rels, bound, part, ridIdx, cards, salt)
+	return &mr.Job{
+		Name:         name,
+		Inputs:       inputs,
+		Reduce:       reduce,
+		NumReducers:  kr,
+		Partition:    mr.IdentityPartition,
+		OutputName:   name,
+		OutputSchema: prefixedSchema(rels),
+	}, part, nil
+}
+
+func emptyJob(name string, rels []*relation.Relation, kr int) *mr.Job {
+	inputs := make([]mr.Input, len(rels))
+	for i := range rels {
+		inputs[i] = mr.Input{Rel: rels[i], Map: func(t relation.Tuple, emit mr.Emitter) {}}
+	}
+	return &mr.Job{
+		Name:         name,
+		Inputs:       inputs,
+		Reduce:       func(key uint64, values []mr.Tagged, ctx *mr.ReduceContext) {},
+		NumReducers:  kr,
+		Partition:    mr.IdentityPartition,
+		OutputName:   name,
+		OutputSchema: prefixedSchema(rels),
+	}
+}
+
+// jobSalt derives the ID-randomisation salt from the job name.
+func jobSalt(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return h.Sum64()
+}
+
+// tupleGlobalID implements Algorithm 1's "GlobalID ← unified random
+// selection": a salted hash of the row ID, uniform over [0, card) and
+// identical in map and reduce phases.
+func tupleGlobalID(rid relation.Value, card int, salt uint64, dim int) uint64 {
+	if card <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	var buf [10]byte
+	v := uint64(rid.Int64())
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	buf[8] = byte(salt)
+	buf[9] = byte(dim)
+	h.Write(buf[:])
+	x := h.Sum64() ^ (salt * 0x9e3779b97f4a7c15)
+	return x % uint64(card)
+}
+
+// elem is one reducer-side tuple with its cached global ID and cell
+// coordinate.
+type elem struct {
+	t     relation.Tuple
+	coord uint32
+}
+
+// makeThetaReducer compiles the backtracking join executed inside each
+// component. Extension steps use an "anchor": one range-comparable
+// condition whose earlier side is already bound; the group is
+// pre-sorted on the anchor column so each partial narrows candidates
+// by binary search before the remaining conditions are verified
+// tuple-by-tuple. The final membership check (does the combination's
+// cell belong to this component?) guarantees each result is emitted by
+// exactly one reducer.
+func makeThetaReducer(rels []*relation.Relation, bound []boundCond, part *Partitioner, ridIdx, cards []int, salt uint64) mr.ReduceFunc {
+	m := len(rels)
+	// checksAt[j] = conditions whose later ordinal is j.
+	checksAt := make([][]boundCond, m)
+	for _, bc := range bound {
+		checksAt[bc.hi] = append(checksAt[bc.hi], bc)
+	}
+	// anchorAt[j]: a range-op condition usable for narrowing at step j.
+	anchorAt := make([]*boundCond, m)
+	for j := 1; j < m; j++ {
+		for i := range checksAt[j] {
+			bc := checksAt[j][i]
+			if bc.op != predicate.NE {
+				anchorAt[j] = &checksAt[j][i]
+				break
+			}
+		}
+	}
+	return func(key uint64, values []mr.Tagged, ctx *mr.ReduceContext) {
+		comp := int32(key)
+		groups := make([][]elem, m)
+		for _, v := range values {
+			dim := int(v.Tag)
+			id := tupleGlobalID(v.Tuple[ridIdx[dim]], cards[dim], salt, dim)
+			groups[dim] = append(groups[dim], elem{t: v.Tuple, coord: part.CellCoord(dim, id)})
+		}
+		for _, g := range groups {
+			if len(g) == 0 {
+				return // some dimension absent: no combination possible
+			}
+		}
+		// Pre-sort groups by their anchor column for binary search.
+		sorted := make([][]elem, m)
+		for j := 1; j < m; j++ {
+			if a := anchorAt[j]; a != nil {
+				g := append([]elem(nil), groups[j]...)
+				col, off := a.hiCol, a.hiOff
+				sort.SliceStable(g, func(x, y int) bool {
+					return relation.Compare(g[x].t[col].Add(off), g[y].t[col].Add(off)) < 0
+				})
+				sorted[j] = g
+			} else {
+				sorted[j] = groups[j]
+			}
+		}
+		partial := make([]elem, m)
+		axes := make([]uint32, m)
+		var rec func(j int)
+		rec = func(j int) {
+			if j == m {
+				// Ownership check: emit only when this component owns
+				// the combination's cell.
+				if part.componentOfAxes(axes) != comp {
+					return
+				}
+				out := make(relation.Tuple, 0, totalArity(rels))
+				for i := 0; i < m; i++ {
+					out = append(out, partial[i].t...)
+				}
+				ctx.Emit(out)
+				return
+			}
+			cands := sorted[j]
+			lo, hi := 0, len(cands)
+			if a := anchorAt[j]; a != nil {
+				pv := partial[a.lo].t[a.loCol].Add(a.loOff)
+				lo, hi = anchorRange(cands, a, pv)
+			}
+			for x := lo; x < hi; x++ {
+				e := cands[x]
+				ctx.AddWork(1)
+				ok := true
+				for _, bc := range checksAt[j] {
+					lv := partial[bc.lo].t[bc.loCol].Add(bc.loOff)
+					rv := e.t[bc.hiCol].Add(bc.hiOff)
+					if !bc.op.Eval(relation.Compare(lv, rv)) {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				partial[j] = e
+				axes[j] = e.coord
+				rec(j + 1)
+			}
+		}
+		for _, e0 := range groups[0] {
+			partial[0] = e0
+			axes[0] = e0.coord
+			rec(1)
+		}
+	}
+}
+
+// anchorRange narrows the sorted candidate slice to the subrange
+// satisfying "pv op cand.val" (op oriented lo→hi).
+func anchorRange(cands []elem, a *boundCond, pv relation.Value) (int, int) {
+	col, off := a.hiCol, a.hiOff
+	cmpAt := func(i int) int { return relation.Compare(pv, cands[i].t[col].Add(off)) }
+	n := len(cands)
+	switch a.op {
+	case predicate.LT: // pv < cand: suffix where cand > pv
+		return sort.Search(n, func(i int) bool { return cmpAt(i) < 0 }), n
+	case predicate.LE:
+		return sort.Search(n, func(i int) bool { return cmpAt(i) <= 0 }), n
+	case predicate.GT: // pv > cand: prefix where cand < pv
+		return 0, sort.Search(n, func(i int) bool { return cmpAt(i) <= 0 })
+	case predicate.GE:
+		return 0, sort.Search(n, func(i int) bool { return cmpAt(i) < 0 })
+	case predicate.EQ:
+		lo := sort.Search(n, func(i int) bool { return cmpAt(i) <= 0 })
+		hi := sort.Search(n, func(i int) bool { return cmpAt(i) < 0 })
+		return lo, hi
+	default: // NE is never installed as an anchor
+		return 0, n
+	}
+}
+
+func totalArity(rels []*relation.Relation) int {
+	n := 0
+	for _, r := range rels {
+		n += r.Schema.Len()
+	}
+	return n
+}
+
+// BuildHashEquiJob constructs the classic repartition equi-join for a
+// conjunction of equalities between exactly two relations: tuples hash
+// on the composite key, no duplication.
+func BuildHashEquiJob(name string, left, right *relation.Relation, conds predicate.Conjunction, kr int) (*mr.Job, error) {
+	if !AllEquiSamePair(conds) {
+		return nil, fmt.Errorf("core: conditions %s are not a two-relation equi conjunction", conds)
+	}
+	// Orient every condition left→right.
+	type keyCol struct {
+		col int
+		off float64
+	}
+	var lCols, rCols []keyCol
+	for _, c := range conds {
+		oc := c
+		if oc.Left != left.Name {
+			oc = c.Reversed()
+		}
+		lc, ok := resolveColumn(left, oc.Left, oc.LeftColumn)
+		if !ok {
+			return nil, fmt.Errorf("core: no column %s.%s", oc.Left, oc.LeftColumn)
+		}
+		rc, ok := resolveColumn(right, oc.Right, oc.RightColumn)
+		if !ok {
+			return nil, fmt.Errorf("core: no column %s.%s", oc.Right, oc.RightColumn)
+		}
+		lCols = append(lCols, keyCol{lc, oc.LeftOffset})
+		rCols = append(rCols, keyCol{rc, oc.RightOffset})
+	}
+	hashKey := func(t relation.Tuple, cols []keyCol) uint64 {
+		h := fnv.New64a()
+		for _, kc := range cols {
+			h.Write([]byte(t[kc.col].Add(kc.off).String()))
+			h.Write([]byte{0x1f})
+		}
+		return h.Sum64()
+	}
+	verify := func(l, r relation.Tuple) bool {
+		for i := range lCols {
+			if relation.Compare(l[lCols[i].col].Add(lCols[i].off), r[rCols[i].col].Add(rCols[i].off)) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	rels := []*relation.Relation{left, right}
+	return &mr.Job{
+		Name: name,
+		Inputs: []mr.Input{
+			{Rel: left, Map: func(t relation.Tuple, emit mr.Emitter) { emit(hashKey(t, lCols), 0, t) }},
+			{Rel: right, Map: func(t relation.Tuple, emit mr.Emitter) { emit(hashKey(t, rCols), 1, t) }},
+		},
+		Reduce: func(key uint64, values []mr.Tagged, ctx *mr.ReduceContext) {
+			var ls, rs []relation.Tuple
+			for _, v := range values {
+				if v.Tag == 0 {
+					ls = append(ls, v.Tuple)
+				} else {
+					rs = append(rs, v.Tuple)
+				}
+			}
+			ctx.AddWork(int64(len(ls)) * int64(len(rs)))
+			for _, l := range ls {
+				for _, r := range rs {
+					if verify(l, r) {
+						ctx.Emit(l.Concat(r))
+					}
+				}
+			}
+		},
+		NumReducers:  kr,
+		OutputName:   name,
+		OutputSchema: prefixedSchema(rels),
+	}, nil
+}

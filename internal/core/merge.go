@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Merging (§4.2, Fig. 4): when two jobs of T share input relations,
+// their outputs combine on the shared relations' row IDs — "such a
+// merge operation only has output keys or data IDs involved, therefore
+// it can be done very efficiently". The full query result is obtained
+// by merging every job output into one relation.
+
+// relationsOfOutput recovers the set of base-relation names whose
+// columns appear in a join output (the prefixes of its column names).
+func relationsOfOutput(r *relation.Relation) []string {
+	seen := map[string]bool{}
+	var out []string
+	for i := 0; i < r.Schema.Len(); i++ {
+		name := r.Schema.Column(i).Name
+		if dot := strings.IndexByte(name, '.'); dot > 0 {
+			rel := name[:dot]
+			if !seen[rel] {
+				seen[rel] = true
+				out = append(out, rel)
+			}
+		}
+	}
+	return out
+}
+
+// sharedRelations intersects the base-relation sets of two outputs.
+func sharedRelations(a, b *relation.Relation) []string {
+	inA := map[string]bool{}
+	for _, r := range relationsOfOutput(a) {
+		inA[r] = true
+	}
+	var out []string
+	for _, r := range relationsOfOutput(b) {
+		if inA[r] {
+			out = append(out, r)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MergeOutputs joins two job outputs on the row IDs of their shared
+// base relations, producing a relation whose columns are the union
+// (right's shared-relation columns are dropped; they duplicate the
+// left's). Returns an error when the outputs share no relation — the
+// planner's merge ordering guarantees they always do.
+func MergeOutputs(name string, left, right *relation.Relation) (*relation.Relation, error) {
+	shared := sharedRelations(left, right)
+	if len(shared) == 0 {
+		return nil, fmt.Errorf("core: merge %s: outputs %s and %s share no relation", name, left.Name, right.Name)
+	}
+	// Key columns: shared relations' rid columns on both sides.
+	var lKey, rKey []int
+	for _, rel := range shared {
+		li, ok := left.Schema.Lookup(rel + "." + RowIDColumn)
+		if !ok {
+			return nil, fmt.Errorf("core: merge %s: %s lacks %s.%s", name, left.Name, rel, RowIDColumn)
+		}
+		ri, ok := right.Schema.Lookup(rel + "." + RowIDColumn)
+		if !ok {
+			return nil, fmt.Errorf("core: merge %s: %s lacks %s.%s", name, right.Name, rel, RowIDColumn)
+		}
+		lKey = append(lKey, li)
+		rKey = append(rKey, ri)
+	}
+	// Right columns to keep: those of relations not shared.
+	sharedSet := map[string]bool{}
+	for _, s := range shared {
+		sharedSet[s] = true
+	}
+	var rKeep []int
+	var cols []relation.Column
+	cols = append(cols, left.Schema.Columns()...)
+	for i := 0; i < right.Schema.Len(); i++ {
+		c := right.Schema.Column(i)
+		dot := strings.IndexByte(c.Name, '.')
+		if dot > 0 && sharedSet[c.Name[:dot]] {
+			continue
+		}
+		rKeep = append(rKeep, i)
+		cols = append(cols, c)
+	}
+	schema, err := relation.NewSchema(cols...)
+	if err != nil {
+		return nil, fmt.Errorf("core: merge %s: %w", name, err)
+	}
+	out := relation.New(name, schema)
+	if left.VolumeMultiplier > right.VolumeMultiplier {
+		out.VolumeMultiplier = left.VolumeMultiplier
+	} else {
+		out.VolumeMultiplier = right.VolumeMultiplier
+	}
+
+	// Hash join on the composite rid key.
+	index := make(map[string][]int, len(right.Tuples))
+	var kb strings.Builder
+	keyOf := func(t relation.Tuple, colIdx []int) string {
+		kb.Reset()
+		for _, c := range colIdx {
+			kb.WriteString(t[c].String())
+			kb.WriteByte(0x1f)
+		}
+		return kb.String()
+	}
+	for i, t := range right.Tuples {
+		k := keyOf(t, rKey)
+		index[k] = append(index[k], i)
+	}
+	for _, lt := range left.Tuples {
+		for _, ri := range index[keyOf(lt, lKey)] {
+			rt := right.Tuples[ri]
+			row := make(relation.Tuple, 0, len(cols))
+			row = append(row, lt...)
+			for _, c := range rKeep {
+				row = append(row, rt[c])
+			}
+			out.Tuples = append(out.Tuples, row)
+		}
+	}
+	return out, nil
+}
+
+// MergeAll combines every job output into the final query result,
+// repeatedly merging the pair of partial results sharing the most
+// relations (ties: smaller combined cardinality first, then name).
+// Section 3.2's connectivity argument guarantees a sharing pair always
+// exists for a sufficient T over a connected join graph.
+func MergeAll(name string, outputs []*relation.Relation) (*relation.Relation, int, error) {
+	if len(outputs) == 0 {
+		return nil, 0, fmt.Errorf("core: nothing to merge")
+	}
+	work := append([]*relation.Relation(nil), outputs...)
+	merges := 0
+	for len(work) > 1 {
+		bi, bj, bestShared := -1, -1, 0
+		bestCard := 0
+		for i := 0; i < len(work); i++ {
+			for j := i + 1; j < len(work); j++ {
+				s := len(sharedRelations(work[i], work[j]))
+				if s == 0 {
+					continue
+				}
+				card := work[i].Cardinality() + work[j].Cardinality()
+				if s > bestShared || (s == bestShared && (bi < 0 || card < bestCard)) {
+					bi, bj, bestShared, bestCard = i, j, s, card
+				}
+			}
+		}
+		if bi < 0 {
+			return nil, merges, fmt.Errorf("core: merge stalled; no pair of outputs shares a relation")
+		}
+		stepName := name
+		if len(work) > 2 {
+			stepName = fmt.Sprintf("%s~m%d", name, merges)
+		}
+		merged, err := MergeOutputs(stepName, work[bi], work[bj])
+		if err != nil {
+			return nil, merges, err
+		}
+		merges++
+		// Remove j first (j > i), then i; append merged.
+		work = append(work[:bj], work[bj+1:]...)
+		work = append(work[:bi], work[bi+1:]...)
+		work = append(work, merged)
+	}
+	work[0].Name = name
+	return work[0], merges, nil
+}

@@ -1,0 +1,510 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cost"
+	"repro/internal/joinpath"
+	"repro/internal/mr"
+	"repro/internal/predicate"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/schedule"
+	"repro/internal/setcover"
+)
+
+// PlanOptions tune the planner.
+type PlanOptions struct {
+	// Lambda is the Δ(k_R) mixing coefficient of Eq. 10 (default 0.4,
+	// the paper's calibrated value).
+	Lambda float64
+	// MaxPathLen caps candidate path lengths in G'_JP (0 = all).
+	MaxPathLen int
+	// MaxCells bounds the Hilbert grid (0 = MaxCellsDefault).
+	MaxCells int
+	// ExhaustiveCover additionally evaluates the exhaustive minimum-
+	// weight cover when G'_JP is small, picking whichever cover
+	// schedules faster.
+	ExhaustiveCover bool
+	// ForceSingleJob restricts the cover to the single candidate
+	// evaluating every condition in one MapReduce job (used by the
+	// single-vs-multi ablation; errors if no such candidate survives).
+	ForceSingleJob bool
+}
+
+// Planner maps an N-join query onto a scheduled set of MapReduce jobs
+// (the paper's T_opt and execution plan P).
+type Planner struct {
+	Config mr.Config
+	Params cost.Params
+	KP     int // available processing units
+	Opts   PlanOptions
+}
+
+// NewPlanner builds a planner with kP processing units.
+func NewPlanner(cfg mr.Config, kp int) *Planner {
+	return &Planner{
+		Config: cfg,
+		Params: cost.FromConfig(cfg),
+		KP:     kp,
+		Opts:   PlanOptions{Lambda: 0.4, ExhaustiveCover: true},
+	}
+}
+
+// PlannedJob is one selected MRJ(e′).
+type PlannedJob struct {
+	Name     string
+	EdgeIDs  []int
+	Conds    predicate.Conjunction
+	RelOrder []string
+	Kind     JobKind
+	Reducers int // k_R to execute with (allotment-capped argmin of T(k))
+	Units    int // scheduler allotment
+	EstTime  float64
+	Profile  []float64 // T(k) for k = 1..KP
+}
+
+// Plan is the optimizer's output: the chosen job set with its schedule.
+type Plan struct {
+	Query             *query.Query
+	Jobs              []PlannedJob
+	EstimatedMakespan float64
+	MergeEstimate     float64 // estimated total merge time appended after jobs
+	CandidateEdges    int     // |G'_JP.E|
+	PrunedCandidates  int
+}
+
+// String renders a compact plan description.
+func (p *Plan) String() string {
+	s := fmt.Sprintf("plan for %s: %d jobs, est %.1fs", p.Query.Name, len(p.Jobs), p.EstimatedMakespan)
+	for _, j := range p.Jobs {
+		s += fmt.Sprintf("\n  %s [%s] conds=%v kR=%d units=%d est=%.1fs",
+			j.Name, j.Kind, j.EdgeIDs, j.Reducers, j.Units, j.EstTime)
+	}
+	return s
+}
+
+// candidate carries the costing of one G'_JP edge during planning.
+type candidate struct {
+	edge     joinpath.PathEdge
+	conds    predicate.Conjunction
+	relOrder []string
+	kind     JobKind
+	profile  []float64
+	bestK    int
+	bestT    float64
+	outBytes int64
+}
+
+// Plan runs the full §5 pipeline: construct G'_JP with the cost model,
+// select a sufficient T by weighted set cover, and schedule it on K_P
+// units.
+func (pl *Planner) Plan(q *query.Query, db *DB) (*Plan, error) {
+	if pl.KP < 1 {
+		return nil, fmt.Errorf("core: planner needs KP >= 1")
+	}
+	g := q.JoinGraph()
+	cands := make(map[string]*candidate)
+	costFn := func(edgeIDs []int) (float64, int, error) {
+		c, err := pl.costEdge(q, g, db, edgeIDs)
+		if err != nil {
+			return 0, 0, err
+		}
+		cands[keyOfIDs(edgeIDs)] = c
+		return c.bestT, c.bestK, nil
+	}
+	// Lemma 2 is disabled: with the mixed operator family (hash-equi,
+	// share-grid, Hilbert cube) a superset candidate can be cheaper
+	// than its pruned subset, which breaks the lemma's monotonicity
+	// assumption (see joinpath.Options.DisableLemma2).
+	jp, err := joinpath.Build(g, costFn, joinpath.Options{MaxPathLen: pl.Opts.MaxPathLen, DisableLemma2: true})
+	if err != nil {
+		return nil, err
+	}
+
+	// Weighted set cover over the surviving candidates.
+	universe := q.ConditionIDs()
+	sets := make([]setcover.Set, len(jp.Edges))
+	for i, e := range jp.Edges {
+		sets[i] = setcover.Set{ID: i, Elems: e.EdgeIDs, Weight: e.Weight}
+	}
+	var covers [][]int
+	if pl.Opts.ForceSingleJob {
+		full := joinpath.IDsToMask(universe)
+		found := -1
+		for i, e := range jp.Edges {
+			if joinpath.IDsToMask(e.EdgeIDs) == full {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("core: no single-job candidate covers all conditions of %s", q.Name)
+		}
+		covers = append(covers, []int{found})
+	} else {
+		greedyIDs, err := setcover.Greedy(universe, sets)
+		if err != nil {
+			return nil, err
+		}
+		covers = append(covers, greedyIDs)
+		if pl.Opts.ExhaustiveCover && len(sets) <= 16 {
+			if exIDs, _, err := setcover.Exhaustive(universe, sets, 16); err == nil {
+				covers = append(covers, exIDs)
+			}
+		}
+	}
+
+	var best *Plan
+	for _, cover := range covers {
+		plan, err := pl.scheduleCover(q, jp, cands, cover)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || plan.EstimatedMakespan < best.EstimatedMakespan {
+			best = plan
+		}
+	}
+	best.CandidateEdges = len(jp.Edges)
+	best.PrunedCandidates = jp.PrunedCount
+	return best, nil
+}
+
+func keyOfIDs(ids []int) string {
+	sorted := append([]int(nil), ids...)
+	sort.Ints(sorted)
+	return fmt.Sprint(sorted)
+}
+
+// costEdge profiles one candidate edge: T(k) for k = 1..KP using the
+// Eq. 1–6 model with duplication-aware α for Hilbert jobs.
+func (pl *Planner) costEdge(q *query.Query, g *query.JoinGraph, db *DB, edgeIDs []int) (*candidate, error) {
+	conds, err := g.SubgraphConditions(edgeIDs)
+	if err != nil {
+		return nil, err
+	}
+	relOrder, err := OrderRelations(conds)
+	if err != nil {
+		return nil, err
+	}
+	m := len(relOrder)
+	kind := KindHilbertTheta
+	if AllEquiSamePair(conds) {
+		kind = KindHashEqui
+	} else if ShareGridApplicable(conds) {
+		kind = KindShareGrid
+	}
+	orderedRels := make([]*relation.Relation, m)
+	for i, name := range relOrder {
+		r, err := db.Relation(name)
+		if err != nil {
+			return nil, err
+		}
+		orderedRels[i] = r
+	}
+	var inputBytes int64
+	var mapTasks int
+	var rowBytes float64
+	cardProd := 1.0
+	maxMult := 1.0
+	blockBytes := int64(pl.Config.BlockSizeMB) * 1e6
+	for _, name := range relOrder {
+		ts, err := db.Catalog.Stats(name)
+		if err != nil {
+			return nil, err
+		}
+		inputBytes += ts.ModeledSize
+		mt := int((ts.ModeledSize + blockBytes - 1) / blockBytes)
+		if mt < 1 {
+			mt = 1
+		}
+		mapTasks += mt
+		rowBytes += ts.AvgTuple
+		cardProd *= math.Max(1, float64(ts.Cardinality))
+		r, err := db.Relation(name)
+		if err != nil {
+			return nil, err
+		}
+		if r.VolumeMultiplier > maxMult {
+			maxMult = r.VolumeMultiplier
+		}
+	}
+	sel, err := predicate.EstimateConjunction(conds, db.Catalog)
+	if err != nil {
+		return nil, err
+	}
+	estRows := cardProd * sel
+	outBytes := int64(estRows * rowBytes * maxMult)
+	// Mirror the engine's output-volume cap so β and the merge-cost
+	// estimates see the same volumes execution will produce.
+	if ratio := pl.Config.OutputCapRatio; ratio > 0 {
+		if cap := int64(ratio * float64(inputBytes)); outBytes > cap {
+			outBytes = cap
+		}
+	}
+	// Reducer skew: Hilbert and share-grid partitions balance by
+	// construction (Theorem 2 / fair shares); hash partitioning on key
+	// values skews with the key distribution.
+	sigmaFrac := 0.08
+	switch kind {
+	case KindHashEqui:
+		sigmaFrac = 0.3 // key-value hash distribution skews
+	case KindShareGrid:
+		sigmaFrac = 0.15 // attribute-class hashing, moderate skew
+	}
+
+	profile := make([]float64, pl.KP)
+	bestK, bestT := 1, math.Inf(1)
+	for k := 1; k <= pl.KP; k++ {
+		var shuffle float64
+		effectiveN := k
+		switch kind {
+		case KindHashEqui:
+			shuffle = float64(inputBytes)
+		case KindShareGrid:
+			rep, err := ReplicationFactor(conds, orderedRels, k)
+			if err != nil {
+				return nil, err
+			}
+			shuffle = float64(inputBytes) * rep
+			grid, err := ShareGridSize(conds, orderedRels, k)
+			if err != nil {
+				return nil, err
+			}
+			effectiveN = grid
+		default:
+			// Hilbert duplication: each tuple is copied ~k^((m-1)/m)
+			// times (Eq. 9's fair-duplication factor).
+			dup := math.Pow(float64(k), float64(m-1)/float64(m))
+			shuffle = float64(inputBytes) * dup
+		}
+		alpha := 1.0
+		if inputBytes > 0 {
+			alpha = shuffle / float64(inputBytes)
+		}
+		beta := 0.0
+		if shuffle > 0 {
+			beta = float64(outBytes) / shuffle
+		}
+		prof := cost.JobProfile{
+			InputBytes: inputBytes,
+			MapTasks:   mapTasks,
+			// k allotted units run map AND reduce tasks (§3.1), so the
+			// map wave width shrinks with the allotment too.
+			MapSlots: minInt(pl.Config.MapSlots, k),
+			Alpha:    alpha,
+			Beta:     beta,
+			Sigma:    sigmaFrac * shuffle / float64(effectiveN),
+		}
+		est, err := pl.Params.Estimate(prof, effectiveN)
+		if err != nil {
+			return nil, err
+		}
+		profile[k-1] = est.T
+		if est.T < bestT {
+			bestT, bestK = est.T, k
+		}
+	}
+	return &candidate{
+		conds:    conds,
+		relOrder: relOrder,
+		kind:     kind,
+		profile:  profile,
+		bestK:    bestK,
+		bestT:    bestT,
+		outBytes: outBytes,
+	}, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// scheduleCover turns one sufficient cover into a scheduled plan.
+func (pl *Planner) scheduleCover(q *query.Query, jp *joinpath.Graph, cands map[string]*candidate, cover []int) (*Plan, error) {
+	var jobs []PlannedJob
+	var tasks []schedule.Task
+	var mergeEst float64
+	var prevOut int64
+	for i, setID := range cover {
+		e := jp.Edges[setID]
+		c, ok := cands[keyOfIDs(e.EdgeIDs)]
+		if !ok {
+			return nil, fmt.Errorf("core: no costing cached for edge %v", e.EdgeIDs)
+		}
+		name := fmt.Sprintf("%s-j%d", q.Name, i+1)
+		jobs = append(jobs, PlannedJob{
+			Name:     name,
+			EdgeIDs:  append([]int(nil), e.EdgeIDs...),
+			Conds:    c.conds,
+			RelOrder: append([]string(nil), c.relOrder...),
+			Kind:     c.kind,
+			Reducers: c.bestK,
+			EstTime:  c.bestT,
+			Profile:  append([]float64(nil), c.profile...),
+		})
+		tasks = append(tasks, schedule.Task{ID: name, Profile: c.profile})
+		if i > 0 {
+			mergeEst += pl.Params.MergeCost(prevOut, c.outBytes)
+		}
+		prevOut += c.outBytes
+	}
+	sched, err := schedule.Schedule(tasks, pl.KP)
+	if err != nil {
+		return nil, err
+	}
+	for i := range jobs {
+		p, ok := sched.Placement(jobs[i].Name)
+		if !ok {
+			return nil, fmt.Errorf("core: schedule lost job %s", jobs[i].Name)
+		}
+		jobs[i].Units = p.Units
+		if jobs[i].Reducers > p.Units {
+			jobs[i].Reducers = p.Units
+		}
+		jobs[i].EstTime = p.Finish - p.Start
+	}
+	// A lone job owns the whole cluster: granting it every unit widens
+	// its map waves for free even when its reducer optimum is lower.
+	if len(jobs) == 1 && jobs[0].Units < pl.KP {
+		jobs[0].Units = pl.KP
+	}
+	// Share-grid jobs round their reducer grid down to a feasible share
+	// product, so ask with the full allotment: the operator itself
+	// derives the largest grid that fits, keeping reduce slots busy.
+	for i := range jobs {
+		if jobs[i].Kind == KindShareGrid {
+			jobs[i].Reducers = jobs[i].Units
+		}
+	}
+	return &Plan{
+		Query:             q,
+		Jobs:              jobs,
+		EstimatedMakespan: sched.Makespan + mergeEst,
+		MergeEstimate:     mergeEst,
+	}, nil
+}
+
+// ExecResult is the outcome of executing a plan.
+type ExecResult struct {
+	Output *relation.Relation
+	// Makespan is the measured evaluation time: the job set re-timed
+	// with simulated durations plus the merge chain (Fig. 4 layout).
+	Makespan   float64
+	JobMetrics map[string]mr.Metrics
+	MergeCount int
+	// ShuffleBytes totals network copy volume across jobs.
+	ShuffleBytes int64
+}
+
+// Execute runs every planned job on the simulator, merges outputs on
+// shared row IDs, and reports the measured makespan.
+func (pl *Planner) Execute(plan *Plan, db *DB) (*ExecResult, error) {
+	if len(plan.Jobs) == 0 {
+		return nil, fmt.Errorf("core: empty plan")
+	}
+	res := &ExecResult{JobMetrics: make(map[string]mr.Metrics, len(plan.Jobs))}
+	var outputs []*relation.Relation
+	var tasks []schedule.Task
+	var outBytes []int64
+	for _, pj := range plan.Jobs {
+		rels := make([]*relation.Relation, len(pj.RelOrder))
+		for i, name := range pj.RelOrder {
+			r, err := db.Relation(name)
+			if err != nil {
+				return nil, err
+			}
+			rels[i] = r
+		}
+		var job *mr.Job
+		var err error
+		switch pj.Kind {
+		case KindHashEqui:
+			job, err = BuildHashEquiJob(pj.Name, rels[0], rels[1], pj.Conds, pj.Reducers)
+		case KindShareGrid:
+			job, err = BuildShareGridJob(pj.Name, rels, pj.Conds, pj.Reducers, pl.Opts.MaxCells)
+		default:
+			job, _, err = BuildThetaJob(pj.Name, rels, pj.Conds, pj.Reducers, pl.Opts.MaxCells)
+		}
+		if err != nil {
+			return nil, err
+		}
+		cfg := pl.Config
+		units := pj.Units
+		if units < 1 {
+			units = pj.Reducers
+		}
+		cfg.MapSlots = minInt(cfg.MapSlots, maxIntc(1, units))
+		cfg.ReduceSlots = minInt(cfg.ReduceSlots, maxIntc(1, units))
+		run, err := mr.Run(cfg, pl.Params.Timer(), job)
+		if err != nil {
+			return nil, err
+		}
+		res.JobMetrics[pj.Name] = run.Metrics
+		res.ShuffleBytes += run.Metrics.ShuffleBytes
+		outputs = append(outputs, run.Output)
+		outBytes = append(outBytes, run.Metrics.OutputBytes)
+		// Measured duration at the allotted units, scaled for the
+		// re-scheduling pass.
+		dur := run.Metrics.Sim.Total
+		prof := make([]float64, pl.KP)
+		for k := 1; k <= pl.KP; k++ {
+			scale := 1.0
+			if k < units {
+				scale = float64(units) / float64(k)
+			}
+			prof[k-1] = dur * scale
+		}
+		tasks = append(tasks, schedule.Task{ID: pj.Name, Profile: prof})
+	}
+	sched, err := schedule.Schedule(tasks, pl.KP)
+	if err != nil {
+		return nil, err
+	}
+	final, mergeCount, err := MergeAll(plan.Query.Name, outputs)
+	if err != nil {
+		return nil, err
+	}
+	var mergeTime float64
+	for i := 1; i < len(outputs); i++ {
+		mergeTime += pl.Params.MergeCost(outBytes[i-1], outBytes[i])
+	}
+	res.Output = final
+	res.MergeCount = mergeCount
+	res.Makespan = sched.Makespan + mergeTime
+	return res, nil
+}
+
+func maxIntc(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Run is the one-call convenience: plan then execute.
+func (pl *Planner) Run(q *query.Query, db *DB) (*Plan, *ExecResult, error) {
+	plan, err := pl.Plan(q, db)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := pl.Execute(plan, db)
+	if err != nil {
+		return plan, nil, err
+	}
+	return plan, res, nil
+}
+
+// CostEdgeForDebug exposes costEdge for diagnostic tools.
+func (pl *Planner) CostEdgeForDebug(q *query.Query, g *query.JoinGraph, db *DB, edgeIDs []int) (float64, int, error) {
+	c, err := pl.costEdge(q, g, db, edgeIDs)
+	if err != nil {
+		return 0, 0, err
+	}
+	return c.bestT, c.bestK, nil
+}

@@ -1,0 +1,436 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"repro/internal/mr"
+	"repro/internal/predicate"
+	"repro/internal/relation"
+)
+
+// Share-grid evaluation: the Afrati–Ullman one-job multiway join [2],
+// generalised to carry residual theta conditions. The paper cites [2]
+// as the equi-join special case its framework subsumes: when a
+// candidate's EQUALITY conditions connect all of its relations, the
+// reducers can form a grid over the equi-attribute classes — each
+// class gets a "share", tuples hash their known classes and replicate
+// only over unknown ones — and any remaining inequality conditions are
+// verified reducer-side. For fully key-linked candidates (e.g. TPC-H
+// Q17's partkey class spanning lineitem, part and l2) the replication
+// factor is 1: the job shuffles exactly its input, the decisive
+// advantage over cube partitioning for equi-connected queries.
+
+// attrClass is one equivalence class of (relation, column) pairs under
+// the job's zero-offset equality conditions; one grid dimension.
+type attrClass struct {
+	members map[string]int // relation → column ordinal (first seen)
+	share   int
+}
+
+// ShareGridApplicable reports whether the conjunction's equality
+// conditions (with zero offsets) connect every relation it references.
+func ShareGridApplicable(conds predicate.Conjunction) bool {
+	rels := conds.Relations()
+	if len(rels) < 2 {
+		return false
+	}
+	parent := make(map[string]string, len(rels))
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] == x {
+			return x
+		}
+		parent[x] = find(parent[x])
+		return parent[x]
+	}
+	for _, r := range rels {
+		parent[r] = r
+	}
+	for _, c := range conds {
+		if c.Op == predicate.EQ && c.LeftOffset == 0 && c.RightOffset == 0 {
+			parent[find(c.Left)] = find(c.Right)
+		}
+	}
+	root := find(rels[0])
+	for _, r := range rels[1:] {
+		if find(r) != root {
+			return false
+		}
+	}
+	return true
+}
+
+// buildAttrClasses unions (relation, column) pairs linked by eligible
+// equality conditions, resolving columns against the job's relations.
+func buildAttrClasses(conds predicate.Conjunction, rels []*relation.Relation) ([]*attrClass, error) {
+	ordinal := make(map[string]int, len(rels))
+	for i, r := range rels {
+		ordinal[r.Name] = i
+	}
+	type rc struct {
+		rel string
+		col int
+	}
+	parent := make(map[rc]rc)
+	var find func(rc) rc
+	find = func(x rc) rc {
+		if parent[x] == x {
+			return x
+		}
+		r := find(parent[x])
+		parent[x] = r
+		return r
+	}
+	add := func(x rc) {
+		if _, ok := parent[x]; !ok {
+			parent[x] = x
+		}
+	}
+	for _, c := range conds {
+		if c.Op != predicate.EQ || c.LeftOffset != 0 || c.RightOffset != 0 {
+			continue
+		}
+		li, ok := ordinal[c.Left]
+		if !ok {
+			return nil, fmt.Errorf("core: share grid: unknown relation %s", c.Left)
+		}
+		ri, ok := ordinal[c.Right]
+		if !ok {
+			return nil, fmt.Errorf("core: share grid: unknown relation %s", c.Right)
+		}
+		lc, ok := resolveColumn(rels[li], c.Left, c.LeftColumn)
+		if !ok {
+			return nil, fmt.Errorf("core: share grid: no column %s.%s", c.Left, c.LeftColumn)
+		}
+		rcIdx, ok := resolveColumn(rels[ri], c.Right, c.RightColumn)
+		if !ok {
+			return nil, fmt.Errorf("core: share grid: no column %s.%s", c.Right, c.RightColumn)
+		}
+		a, b := rc{c.Left, lc}, rc{c.Right, rcIdx}
+		add(a)
+		add(b)
+		parent[find(a)] = find(b)
+	}
+	groups := make(map[rc][]rc)
+	for x := range parent {
+		r := find(x)
+		groups[r] = append(groups[r], x)
+	}
+	var classes []*attrClass
+	var roots []rc
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		if roots[i].rel != roots[j].rel {
+			return roots[i].rel < roots[j].rel
+		}
+		return roots[i].col < roots[j].col
+	})
+	for _, r := range roots {
+		cl := &attrClass{members: make(map[string]int)}
+		members := groups[r]
+		sort.Slice(members, func(i, j int) bool {
+			if members[i].rel != members[j].rel {
+				return members[i].rel < members[j].rel
+			}
+			return members[i].col < members[j].col
+		})
+		for _, m := range members {
+			if _, seen := cl.members[m.rel]; !seen {
+				cl.members[m.rel] = m.col
+			}
+		}
+		if len(cl.members) >= 2 {
+			classes = append(classes, cl)
+		}
+	}
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("core: share grid: no multi-relation equality class")
+	}
+	return classes, nil
+}
+
+// assignShares distributes the reducer budget over grid dimensions.
+// A class known by every relation of the job is "free": growing its
+// share adds parallelism without replicating anyone, so one free
+// dimension absorbs the entire remaining budget exactly. Replication-
+// carrying dimensions grow by greedy factor steps, charging the
+// Σ_r size_r · Π_{d unknown to r} s_d communication of [2]'s
+// Lagrangean solution.
+func assignShares(classes []*attrClass, rels []*relation.Relation, kr int) {
+	for _, cl := range classes {
+		cl.share = 1
+	}
+	sizes := make(map[string]float64, len(rels))
+	for _, r := range rels {
+		sizes[r.Name] = math.Max(1, float64(r.ModeledSize()))
+	}
+	replication := func() float64 {
+		total := 0.0
+		for _, r := range rels {
+			rep := 1.0
+			for _, cl := range classes {
+				if _, knows := cl.members[r.Name]; !knows {
+					rep *= float64(cl.share)
+				}
+			}
+			total += sizes[r.Name] * rep
+		}
+		return total
+	}
+	freeDim := -1
+	for d, cl := range classes {
+		if len(cl.members) == len(rels) {
+			freeDim = d
+			break
+		}
+	}
+	// Grow replication-carrying dimensions while the added parallelism
+	// outweighs the extra communication.
+	for {
+		prod := 1
+		for _, cl := range classes {
+			prod *= cl.share
+		}
+		bestDim, bestFactor := -1, 0
+		bestCost := math.Inf(1)
+		for d, cl := range classes {
+			if d == freeDim {
+				continue
+			}
+			for _, f := range []int{2, 3} {
+				if prod*f > kr {
+					continue
+				}
+				cl.share *= f
+				cost := replication() / float64(f)
+				cl.share /= f
+				if cost < bestCost {
+					bestCost, bestDim, bestFactor = cost, d, f
+				}
+			}
+		}
+		if bestDim < 0 || bestCost >= replication() {
+			break
+		}
+		classes[bestDim].share *= bestFactor
+	}
+	// The free dimension absorbs the exact remaining budget.
+	if freeDim >= 0 {
+		prod := 1
+		for d, cl := range classes {
+			if d != freeDim {
+				prod *= cl.share
+			}
+		}
+		if fill := kr / prod; fill > 1 {
+			classes[freeDim].share = fill
+		}
+	}
+}
+
+// ReplicationFactor predicts the share-grid duplication for the
+// planner's α estimate: the weighted mean over relations of the
+// product of unknown-dimension shares, given kr reducers.
+func ReplicationFactor(conds predicate.Conjunction, rels []*relation.Relation, kr int) (float64, error) {
+	classes, err := buildAttrClasses(conds, rels)
+	if err != nil {
+		return 0, err
+	}
+	assignShares(classes, rels, kr)
+	var total, weighted float64
+	for _, r := range rels {
+		size := math.Max(1, float64(r.ModeledSize()))
+		rep := 1.0
+		for _, cl := range classes {
+			if _, knows := cl.members[r.Name]; !knows {
+				rep *= float64(cl.share)
+			}
+		}
+		total += size
+		weighted += size * rep
+	}
+	return weighted / total, nil
+}
+
+// ShareGridSize returns the reducer-grid cardinality (product of
+// assigned shares) the share-grid operator will actually use when
+// granted kr reducers — the planner estimates with this effective
+// parallelism rather than the raw allotment.
+func ShareGridSize(conds predicate.Conjunction, rels []*relation.Relation, kr int) (int, error) {
+	classes, err := buildAttrClasses(conds, rels)
+	if err != nil {
+		return 0, err
+	}
+	assignShares(classes, rels, kr)
+	grid := 1
+	for _, cl := range classes {
+		grid *= cl.share
+	}
+	return grid, nil
+}
+
+// BuildShareGridJob constructs the one-job share-based multiway join
+// for an equi-connected conjunction with optional theta residuals.
+func BuildShareGridJob(name string, rels []*relation.Relation, conds predicate.Conjunction, kr, _ int) (*mr.Job, error) {
+	if len(rels) < 2 {
+		return nil, fmt.Errorf("core: share grid needs >= 2 relations")
+	}
+	if !ShareGridApplicable(conds) {
+		return nil, fmt.Errorf("core: conditions %s are not equi-connected", conds)
+	}
+	for _, r := range rels {
+		if r.Cardinality() == 0 {
+			return emptyJob(name, rels, kr), nil
+		}
+	}
+	classes, err := buildAttrClasses(conds, rels)
+	if err != nil {
+		return nil, err
+	}
+	assignShares(classes, rels, kr)
+	nDims := len(classes)
+	strides := make([]int, nDims)
+	grid := 1
+	for d := nDims - 1; d >= 0; d-- {
+		strides[d] = grid
+		grid *= classes[d].share
+	}
+	bound, err := bindConditions(conds, rels)
+	if err != nil {
+		return nil, err
+	}
+	m := len(rels)
+	checksAt := make([][]boundCond, m)
+	for _, bc := range bound {
+		checksAt[bc.hi] = append(checksAt[bc.hi], bc)
+	}
+	hashTo := func(v relation.Value, share, dim int) int {
+		if share <= 1 {
+			return 0
+		}
+		h := fnv.New64a()
+		h.Write([]byte{byte(dim)})
+		h.Write([]byte(v.String()))
+		return int(h.Sum64() % uint64(share))
+	}
+	// Per relation: which dims it knows (column ordinal per dim).
+	knownCol := make([][]int, m) // knownCol[rel][dim] = col or -1
+	for i, r := range rels {
+		knownCol[i] = make([]int, nDims)
+		for d, cl := range classes {
+			if col, ok := cl.members[r.Name]; ok {
+				knownCol[i][d] = col
+			} else {
+				knownCol[i][d] = -1
+			}
+		}
+	}
+	inputs := make([]mr.Input, m)
+	for i := range rels {
+		i := i
+		inputs[i] = mr.Input{
+			Rel: rels[i],
+			Map: func(t relation.Tuple, emit mr.Emitter) {
+				emitGrid(t, uint8(i), knownCol[i], classes, strides, 0, 0, hashTo, emit)
+			},
+		}
+	}
+	// canonicalCell computes the owning cell of a full combination:
+	// every dim's class has ≥2 member relations in the job, so some
+	// member of the combination knows each dim.
+	dimOwner := make([]int, nDims)  // relation ordinal knowing dim
+	dimOwnCol := make([]int, nDims) // its column
+	for d, cl := range classes {
+		found := false
+		for i, r := range rels {
+			if col, ok := cl.members[r.Name]; ok {
+				dimOwner[d], dimOwnCol[d] = i, col
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("core: share grid: dimension %d has no owner", d)
+		}
+	}
+	reduce := func(key uint64, values []mr.Tagged, ctx *mr.ReduceContext) {
+		groups := make([][]relation.Tuple, m)
+		for _, v := range values {
+			groups[v.Tag] = append(groups[v.Tag], v.Tuple)
+		}
+		for _, g := range groups {
+			if len(g) == 0 {
+				return
+			}
+		}
+		partial := make([]relation.Tuple, m)
+		var rec func(j int)
+		rec = func(j int) {
+			if j == m {
+				cell := 0
+				for d := range classes {
+					cell += hashTo(partial[dimOwner[d]][dimOwnCol[d]], classes[d].share, d) * strides[d]
+				}
+				if uint64(cell) != key {
+					return // another reducer owns this combination
+				}
+				out := make(relation.Tuple, 0, totalArity(rels))
+				for _, t := range partial {
+					out = append(out, t...)
+				}
+				ctx.Emit(out)
+				return
+			}
+			for _, t := range groups[j] {
+				ctx.AddWork(1)
+				ok := true
+				for _, bc := range checksAt[j] {
+					lv := partial[bc.lo][bc.loCol].Add(bc.loOff)
+					rv := t[bc.hiCol].Add(bc.hiOff)
+					if !bc.op.Eval(relation.Compare(lv, rv)) {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				partial[j] = t
+				rec(j + 1)
+			}
+		}
+		rec(0)
+	}
+	return &mr.Job{
+		Name:         name,
+		Inputs:       inputs,
+		Reduce:       reduce,
+		NumReducers:  grid,
+		Partition:    mr.IdentityPartition,
+		OutputName:   name,
+		OutputSchema: prefixedSchema(rels),
+	}, nil
+}
+
+// emitGrid recursively enumerates the reducer cells a tuple belongs
+// to: known dimensions are pinned by hashing, unknown ones swept.
+func emitGrid(t relation.Tuple, tag uint8, known []int, classes []*attrClass, strides []int,
+	dim, acc int, hashTo func(relation.Value, int, int) int, emit mr.Emitter) {
+	if dim == len(classes) {
+		emit(uint64(acc), tag, t)
+		return
+	}
+	if col := known[dim]; col >= 0 {
+		c := hashTo(t[col], classes[dim].share, dim)
+		emitGrid(t, tag, known, classes, strides, dim+1, acc+c*strides[dim], hashTo, emit)
+		return
+	}
+	for c := 0; c < classes[dim].share; c++ {
+		emitGrid(t, tag, known, classes, strides, dim+1, acc+c*strides[dim], hashTo, emit)
+	}
+}

@@ -1,0 +1,293 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mr"
+	"repro/internal/relation"
+)
+
+func params() Params { return FromConfig(mr.DefaultConfig()) }
+
+func profile(gb float64, alpha float64) JobProfile {
+	return JobProfile{
+		InputBytes: int64(gb * 1e9),
+		MapTasks:   int(math.Max(1, gb*1e9/64e6)),
+		MapSlots:   104,
+		Alpha:      alpha,
+		Beta:       0.1,
+		Sigma:      0,
+	}
+}
+
+func TestEstimateComponentsPositive(t *testing.T) {
+	p := params()
+	e, err := p.Estimate(profile(10, 0.5), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.TM <= 0 || e.JM <= 0 || e.TCP <= 0 || e.JCP <= 0 || e.JR <= 0 || e.T <= 0 {
+		t.Errorf("non-positive components: %+v", e)
+	}
+	if e.JM < e.TM {
+		t.Error("JM < tM")
+	}
+	// Eq. 6: T must equal one of the two overlap forms.
+	want1 := e.JM + e.TCP + e.JR
+	want2 := e.TM + e.JCP + e.JR
+	if math.Abs(e.T-want1) > 1e-9 && math.Abs(e.T-want2) > 1e-9 {
+		t.Errorf("T = %v matches neither overlap form (%v, %v)", e.T, want1, want2)
+	}
+}
+
+func TestEstimateValidation(t *testing.T) {
+	p := params()
+	if _, err := p.Estimate(profile(1, 0.5), 0); err == nil {
+		t.Error("0 reducers accepted")
+	}
+	bad := profile(1, 0.5)
+	bad.MapTasks = 0
+	if _, err := p.Estimate(bad, 4); err == nil {
+		t.Error("0 map tasks accepted")
+	}
+	bad = profile(1, 0.5)
+	bad.Alpha = -1
+	if _, err := p.Estimate(bad, 4); err == nil {
+		t.Error("negative alpha accepted")
+	}
+	bad = profile(1, 0.5)
+	bad.MapSlots = 0
+	if _, err := p.Estimate(bad, 4); err == nil {
+		t.Error("0 map slots accepted")
+	}
+	bad = profile(1, 0.5)
+	bad.InputBytes = -5
+	if _, err := p.Estimate(bad, 4); err == nil {
+		t.Error("negative input accepted")
+	}
+}
+
+// The paper's Fig. 6 observation: for large inputs, adding reducers
+// helps a lot initially, then gains shrink (and eventually reverse as
+// connection overhead dominates).
+func TestReducerSweepShape(t *testing.T) {
+	p := params()
+	prof := profile(100, 1.0)
+	t2, _ := p.Estimate(prof, 2)
+	t16, _ := p.Estimate(prof, 16)
+	if t16.T >= t2.T {
+		t.Errorf("16 reducers (%v) not faster than 2 (%v) on 100GB", t16.T, t2.T)
+	}
+	// Gains flatten: marginal improvement 48→64 much smaller than 2→16.
+	t48, _ := p.Estimate(prof, 48)
+	t64, _ := p.Estimate(prof, 64)
+	gainEarly := t2.T - t16.T
+	gainLate := t48.T - t64.T
+	if gainLate > gainEarly/4 {
+		t.Errorf("late gain %v not much smaller than early gain %v", gainLate, gainEarly)
+	}
+}
+
+// J_R strictly decreases with reducer count (workload splits), while
+// the q·n connection overhead increases — producing the interior
+// optimum of Fig. 7a.
+func TestJRMonotoneAndInteriorOptimum(t *testing.T) {
+	p := params()
+	prof := profile(10, 1.0)
+	prev := math.Inf(1)
+	for n := 1; n <= 64; n *= 2 {
+		e, err := p.Estimate(prof, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.JR >= prev {
+			t.Errorf("JR not decreasing at n=%d: %v >= %v", n, e.JR, prev)
+		}
+		prev = e.JR
+	}
+	best, err := p.BestReducers(prof, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.N <= 1 || best.N >= 512 {
+		t.Errorf("optimum %d not interior", best.N)
+	}
+}
+
+// Fig. 7a: larger map output volume pushes the optimal reducer count up.
+func TestBestReducersGrowsWithVolume(t *testing.T) {
+	p := params()
+	small, err := p.BestReducers(profile(1, 1.0), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := p.BestReducers(profile(200, 1.0), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.N <= small.N {
+		t.Errorf("best kR for 200GB (%d) not above 1GB (%d)", big.N, small.N)
+	}
+	if _, err := p.BestReducers(profile(1, 1), 0); err == nil {
+		t.Error("maxN=0 accepted")
+	}
+}
+
+func TestPQBehaviour(t *testing.T) {
+	p := params()
+	if p.P(p.SortBufBytes/2) != p.WriteCost {
+		t.Error("p below sort buffer should equal write cost")
+	}
+	if p.P(p.SortBufBytes*100) <= p.P(p.SortBufBytes*2) {
+		t.Error("p not growing with spill volume")
+	}
+	if p.Q(64) <= p.Q(4) {
+		t.Error("q not growing with reducer count")
+	}
+	if p.Q(0) != p.Q(1) {
+		t.Error("q(0) should clamp to q(1)")
+	}
+}
+
+func TestModelTracksSimulator(t *testing.T) {
+	// Run a real self-join-shaped job in the simulator and compare the
+	// analytic estimate against the simulated makespan: they should be
+	// within 2× of each other (the closed form ignores wave
+	// quantisation and exact skew).
+	cfg := mr.DefaultConfig()
+	cfg.TuplesPerMapTask = 64
+	cfg.MapSlots = 8
+	cfg.ReduceSlots = 8
+	in := relation.New("t", relation.MustSchema(relation.Column{Name: "v", Kind: relation.KindInt}))
+	for i := 0; i < 2000; i++ {
+		in.MustAppend(relation.Tuple{relation.Int(int64(i % 64))})
+	}
+	in.VolumeMultiplier = 50000 // model ~ a GB-scale input
+	p := FromConfig(cfg)
+	job := &mr.Job{
+		Name:   "selfjoin-sample",
+		Inputs: []mr.Input{{Rel: in, Map: func(t relation.Tuple, emit mr.Emitter) { emit(uint64(t[0].Int64()), 0, t) }}},
+		Reduce: func(key uint64, values []mr.Tagged, ctx *mr.ReduceContext) {
+			ctx.AddWork(int64(len(values)) * int64(len(values)))
+			ctx.Emit(relation.Tuple{values[0].Tuple[0]})
+		},
+		NumReducers:  8,
+		OutputName:   "out",
+		OutputSchema: in.Schema,
+	}
+	res, err := mr.Run(cfg, p.Timer(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := ProfileFromMetrics(res.Metrics, cfg)
+	est, err := p.Estimate(prof, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := res.Metrics.Sim.Total
+	if est.T < sim/2 || est.T > sim*2 {
+		t.Errorf("estimate %v vs simulated %v: off by more than 2x", est.T, sim)
+	}
+}
+
+func TestProfileFromMetrics(t *testing.T) {
+	m := mr.Metrics{
+		MapTasks:          4,
+		InputBytes:        1000,
+		ShuffleBytes:      500,
+		OutputBytes:       50,
+		ReducerInputBytes: []int64{100, 150, 250},
+	}
+	cfg := mr.DefaultConfig()
+	jp := ProfileFromMetrics(m, cfg)
+	if jp.Alpha != 0.5 {
+		t.Errorf("alpha = %v", jp.Alpha)
+	}
+	if jp.Beta != 0.1 {
+		t.Errorf("beta = %v", jp.Beta)
+	}
+	if jp.Sigma <= 0 {
+		t.Errorf("sigma = %v", jp.Sigma)
+	}
+	if jp.MapTasks != 4 || jp.MapSlots != cfg.MapSlots {
+		t.Error("task counts wrong")
+	}
+	empty := ProfileFromMetrics(mr.Metrics{}, cfg)
+	if empty.Alpha != 0 || empty.Beta != 0 || empty.MapTasks != 1 {
+		t.Errorf("zero metrics profile: %+v", empty)
+	}
+}
+
+func TestChooseKR(t *testing.T) {
+	// Score grows linearly with k, work shrinks as 1/k: Δ has an
+	// interior optimum that moves down as λ (score weight) grows.
+	candidates := []int{1, 2, 4, 8, 16, 32, 64}
+	score := func(k int) float64 { return float64(k) }
+	work := func(k int) float64 { return 1000.0 / float64(k) }
+	lo, err := ChooseKR(0.1, candidates, score, work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := ChooseKR(0.9, candidates, score, work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo < hi {
+		t.Errorf("low lambda (%d) should allow more reducers than high lambda (%d)", lo, hi)
+	}
+	if _, err := ChooseKR(0.4, nil, score, work); err == nil {
+		t.Error("empty candidates accepted")
+	}
+	if _, err := ChooseKR(-0.1, candidates, score, work); err == nil {
+		t.Error("negative lambda accepted")
+	}
+	if _, err := ChooseKR(0.4, []int{0}, score, work); err == nil {
+		t.Error("candidate 0 accepted")
+	}
+}
+
+func TestChooseKRConstantFactors(t *testing.T) {
+	// Degenerate: both factors constant → first candidate wins, no NaN.
+	got, err := ChooseKR(0.4, []int{3, 5, 7}, func(int) float64 { return 1 }, func(int) float64 { return 2 })
+	if err != nil || got != 3 {
+		t.Errorf("constant factors: got %d, %v", got, err)
+	}
+}
+
+func TestMergeCostSmall(t *testing.T) {
+	p := params()
+	mc := p.MergeCost(1e9, 1e9)
+	full, _ := p.Estimate(profile(2, 1.0), 16)
+	if mc >= full.T {
+		t.Errorf("merge cost %v not small vs full job %v", mc, full.T)
+	}
+	if mc <= 0 {
+		t.Error("merge cost not positive")
+	}
+}
+
+func TestTimerRoundTrip(t *testing.T) {
+	cfg := mr.DefaultConfig()
+	p := FromConfig(cfg)
+	tm, ok := p.Timer().(*mr.StdTimer)
+	if !ok {
+		t.Fatal("Timer() is not StdTimer")
+	}
+	ref := mr.NewStdTimer(cfg)
+	if math.Abs(tm.ReadBps-ref.ReadBps) > 1 || math.Abs(tm.WriteBps-ref.WriteBps) > 1 {
+		t.Error("timer rates do not round-trip")
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if s := stddevInt64(nil); s != 0 {
+		t.Errorf("stddev(nil) = %v", s)
+	}
+	if s := stddevInt64([]int64{5, 5, 5}); s != 0 {
+		t.Errorf("stddev(const) = %v", s)
+	}
+	if s := stddevInt64([]int64{0, 10}); math.Abs(s-5) > 1e-9 {
+		t.Errorf("stddev(0,10) = %v, want 5", s)
+	}
+}

@@ -1,0 +1,391 @@
+package mr
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// SimTime is the simulated-clock breakdown of one job run, mirroring
+// the J_M / J_CP / J_R decomposition of §4.1.
+type SimTime struct {
+	MapDone     float64 // last map task finishes (J_M)
+	ShuffleDone float64 // last copy arrives
+	Total       float64 // last reduce task finishes (the job makespan T)
+}
+
+// Metrics aggregates the byte-accounting and work counters of one run.
+// Byte quantities are "modeled": real encoded sizes multiplied by the
+// input relations' VolumeMultiplier, so laptop-sized tuple counts
+// reproduce the paper's hundreds-of-GB sweeps.
+type Metrics struct {
+	MapTasks    int
+	ReduceTasks int
+
+	InputBytes   int64 // S_I
+	ShuffleBytes int64 // S_CP: total map output copied over the network
+	OutputBytes  int64
+
+	PairsEmitted        int64
+	CombinationsChecked int64
+
+	ReducerInputBytes []int64
+	MaxReducerInput   int64
+
+	MapFailures    int
+	ReduceFailures int
+
+	Sim SimTime
+}
+
+// Result is a completed job: the output relation plus metrics.
+type Result struct {
+	Output  *relation.Relation
+	Metrics Metrics
+}
+
+type pair struct {
+	key   uint64
+	tag   uint8
+	tuple relation.Tuple
+}
+
+type mapTask struct {
+	inputIdx   int
+	tuples     []relation.Tuple
+	multiplier float64
+	inputBytes int64 // modeled
+}
+
+// Run executes the job and returns its output and metrics. Execution
+// is deterministic for a fixed job specification: task outputs are
+// merged in task order and reduce keys are processed in sorted order.
+func Run(cfg Config, timer Timer, job *Job) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	if timer == nil {
+		timer = NewStdTimer(cfg)
+	}
+
+	// ---- Plan map tasks ------------------------------------------------
+	// Each map task covers one DFS block of MODELED bytes (the paper's
+	// 64 MB splits), capped by tuple granularity: a relation modeling
+	// 10 GB from 2,000 physical tuples yields ~156 tasks of ~13 tuples
+	// each, so wave counts and per-task spill volumes match the modeled
+	// cluster. TuplesPerMapTask additionally bounds how many physical
+	// tuples one task may hold (the binding constraint for unscaled
+	// relations).
+	blockBytes := int64(cfg.BlockSizeMB) * 1e6
+	var tasks []mapTask
+	var inputBytes int64
+	for idx, in := range job.Inputs {
+		mult := in.Rel.VolumeMultiplier
+		if mult <= 0 {
+			mult = 1
+		}
+		card := in.Rel.Cardinality()
+		if card == 0 {
+			continue
+		}
+		modeled := int64(float64(in.Rel.EncodedSize()) * mult)
+		nTasks := int((modeled + blockBytes - 1) / blockBytes)
+		if byTuples := (card + cfg.TuplesPerMapTask - 1) / cfg.TuplesPerMapTask; byTuples > nTasks {
+			nTasks = byTuples
+		}
+		if nTasks < 1 {
+			nTasks = 1
+		}
+		if nTasks > card {
+			nTasks = card
+		}
+		per := (card + nTasks - 1) / nTasks
+		blocks := in.Rel.Blocks(per)
+		for _, blk := range blocks {
+			var raw int64
+			for _, t := range blk {
+				raw += int64(t.EncodedSize())
+			}
+			mb := int64(float64(raw) * mult)
+			tasks = append(tasks, mapTask{inputIdx: idx, tuples: blk, multiplier: mult, inputBytes: mb})
+			inputBytes += mb
+		}
+	}
+	if len(tasks) == 0 {
+		// All inputs empty: an empty but well-formed result.
+		out := relation.New(job.OutputName, job.OutputSchema)
+		return &Result{Output: out, Metrics: Metrics{ReduceTasks: job.NumReducers}}, nil
+	}
+
+	// ---- Map phase (real execution) ------------------------------------
+	workers := cfg.MaxParallelWorkers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	taskPairs := make([][]pair, len(tasks))
+	taskOutBytes := make([]int64, len(tasks)) // modeled map output per task
+	var wg sync.WaitGroup
+	taskCh := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ti := range taskCh {
+				task := &tasks[ti]
+				mapFn := job.Inputs[task.inputIdx].Map
+				var local []pair
+				var outBytes int64
+				emit := func(key uint64, tag uint8, value relation.Tuple) {
+					local = append(local, pair{key: key, tag: tag, tuple: value})
+					// 8 bytes of key framing per shuffled pair.
+					outBytes += int64(float64(value.EncodedSize()+8) * task.multiplier)
+				}
+				for _, t := range task.tuples {
+					mapFn(t, emit)
+				}
+				taskPairs[ti] = local
+				taskOutBytes[ti] = outBytes
+			}
+		}()
+	}
+	for ti := range tasks {
+		taskCh <- ti
+	}
+	close(taskCh)
+	wg.Wait()
+
+	// ---- Shuffle --------------------------------------------------------
+	partition := job.Partition
+	if partition == nil {
+		partition = func(key uint64, n int) int { return int(key % uint64(n)) }
+	}
+	nRed := job.NumReducers
+	type group map[uint64][]Tagged
+	groups := make([]group, nRed)
+	for r := range groups {
+		groups[r] = make(group)
+	}
+	reducerBytes := make([]int64, nRed)
+	var pairsEmitted, shuffleBytes int64
+	for ti := range tasks {
+		mult := tasks[ti].multiplier
+		for _, p := range taskPairs[ti] {
+			r := partition(p.key, nRed)
+			if r < 0 || r >= nRed {
+				return nil, fmt.Errorf("mr: job %s: partition returned %d for %d reducers", job.Name, r, nRed)
+			}
+			groups[r][p.key] = append(groups[r][p.key], Tagged{Tag: p.tag, Tuple: p.tuple})
+			b := int64(float64(p.tuple.EncodedSize()+8) * mult)
+			reducerBytes[r] += b
+			shuffleBytes += b
+			pairsEmitted++
+		}
+		taskPairs[ti] = nil // release as we go
+	}
+
+	// ---- Reduce phase (real execution) ----------------------------------
+	outs := make([][]relation.Tuple, nRed)
+	combs := make([]int64, nRed)
+	redCh := make(chan int)
+	var rwg sync.WaitGroup
+	rWorkers := workers
+	if rWorkers > nRed {
+		rWorkers = nRed
+	}
+	if rWorkers < 1 {
+		rWorkers = 1
+	}
+	for w := 0; w < rWorkers; w++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			for r := range redCh {
+				keys := make([]uint64, 0, len(groups[r]))
+				for k := range groups[r] {
+					keys = append(keys, k)
+				}
+				sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+				ctx := &ReduceContext{}
+				for _, k := range keys {
+					job.Reduce(k, groups[r][k], ctx)
+				}
+				outs[r] = ctx.out
+				combs[r] = ctx.combinations
+			}
+		}()
+	}
+	for r := 0; r < nRed; r++ {
+		redCh <- r
+	}
+	close(redCh)
+	rwg.Wait()
+
+	outMult := job.OutputMultiplier
+	if outMult <= 0 {
+		for _, in := range job.Inputs {
+			if in.Rel.VolumeMultiplier > outMult {
+				outMult = in.Rel.VolumeMultiplier
+			}
+		}
+		if outMult <= 0 {
+			outMult = 1
+		}
+	}
+	// Pre-compute raw output size to apply the output-volume cap: the
+	// effective output multiplier shrinks so the modeled output stays
+	// within OutputCapRatio × modeled input (see Config).
+	var rawOut int64
+	for r := 0; r < nRed; r++ {
+		for _, t := range outs[r] {
+			rawOut += int64(t.EncodedSize())
+		}
+	}
+	if cfg.OutputCapRatio > 0 && rawOut > 0 {
+		maxOut := cfg.OutputCapRatio * float64(inputBytes)
+		if float64(rawOut)*outMult > maxOut {
+			outMult = maxOut / float64(rawOut)
+			if outMult < 1 {
+				outMult = 1
+			}
+		}
+	}
+	output := relation.New(job.OutputName, job.OutputSchema)
+	output.VolumeMultiplier = outMult
+	var combinations int64
+	var outputBytes int64
+	reducerOutBytes := make([]int64, nRed)
+	for r := 0; r < nRed; r++ {
+		for _, t := range outs[r] {
+			if len(t) != job.OutputSchema.Len() {
+				return nil, fmt.Errorf("mr: job %s: reducer %d emitted arity %d, schema wants %d",
+					job.Name, r, len(t), job.OutputSchema.Len())
+			}
+			output.Tuples = append(output.Tuples, t)
+			b := int64(float64(t.EncodedSize()) * outMult)
+			outputBytes += b
+			reducerOutBytes[r] += b
+		}
+		combinations += combs[r]
+	}
+
+	// ---- Simulated clock -------------------------------------------------
+	mapDur := make([]float64, len(tasks))
+	copyDur := make([]float64, len(tasks))
+	mapFail := make([]int, len(tasks))
+	totalMapFailures := 0
+	for ti := range tasks {
+		mapDur[ti] = timer.MapTaskTime(tasks[ti].inputBytes, taskOutBytes[ti])
+		copyDur[ti] = timer.CopyTime(taskOutBytes[ti], nRed)
+		if f, ok := job.FailMapTasks[ti]; ok && f > 0 {
+			mapFail[ti] = f
+			totalMapFailures += f
+		}
+	}
+	reduceDur := make([]float64, nRed)
+	reduceFail := make([]int, nRed)
+	totalReduceFailures := 0
+	for r := 0; r < nRed; r++ {
+		reduceDur[r] = timer.ReduceTime(reducerBytes[r], reducerOutBytes[r])
+		if f, ok := job.FailReduceTasks[r]; ok && f > 0 {
+			reduceFail[r] = f
+			totalReduceFailures += f
+		}
+	}
+	sim := simulate(cfg.MapSlots, cfg.ReduceSlots, mapDur, copyDur, mapFail, reduceDur, reduceFail)
+
+	var maxRed int64
+	for _, b := range reducerBytes {
+		if b > maxRed {
+			maxRed = b
+		}
+	}
+	return &Result{
+		Output: output,
+		Metrics: Metrics{
+			MapTasks:            len(tasks),
+			ReduceTasks:         nRed,
+			InputBytes:          inputBytes,
+			ShuffleBytes:        shuffleBytes,
+			OutputBytes:         outputBytes,
+			PairsEmitted:        pairsEmitted,
+			CombinationsChecked: combinations,
+			ReducerInputBytes:   reducerBytes,
+			MaxReducerInput:     maxRed,
+			MapFailures:         totalMapFailures,
+			ReduceFailures:      totalReduceFailures,
+			Sim:                 sim,
+		},
+	}, nil
+}
+
+// simulate advances the discrete-event clock: map tasks run in waves
+// over mapSlots (a task with f injected failures occupies its slot for
+// f+1 attempts), each finished map task's output copies to the
+// reducers (overlapping later map waves, as in Fig. 3, but serialised
+// per slot — one node uplink serves one task's n reducer connections
+// at a time, which realises Eq. 6's J_CP branch when t_CP > t_M), and
+// reduce tasks start once the last copy lands, running in waves over
+// reduceSlots.
+func simulate(mapSlots, reduceSlots int, mapDur, copyDur []float64, mapFail []int, reduceDur []float64, reduceFail []int) SimTime {
+	slotFree := make([]float64, mapSlots)
+	copyFree := make([]float64, mapSlots)
+	var mapDone, shuffleDone float64
+	for ti := range mapDur {
+		s := argminFloat(slotFree)
+		start := slotFree[s]
+		end := start + mapDur[ti]*float64(mapFail[ti]+1)
+		slotFree[s] = end
+		if end > mapDone {
+			mapDone = end
+		}
+		cpStart := end
+		if copyFree[s] > cpStart {
+			cpStart = copyFree[s]
+		}
+		cp := cpStart + copyDur[ti]
+		copyFree[s] = cp
+		if cp > shuffleDone {
+			shuffleDone = cp
+		}
+	}
+	rSlot := make([]float64, reduceSlots)
+	for i := range rSlot {
+		rSlot[i] = shuffleDone
+	}
+	total := shuffleDone
+	// Longest-processing-time order mirrors Hadoop's scheduling of the
+	// largest shuffled partitions first and tightens the makespan.
+	order := make([]int, len(reduceDur))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return reduceDur[order[a]] > reduceDur[order[b]] })
+	for _, r := range order {
+		s := argminFloat(rSlot)
+		end := rSlot[s] + reduceDur[r]*float64(reduceFail[r]+1)
+		rSlot[s] = end
+		if end > total {
+			total = end
+		}
+	}
+	return SimTime{MapDone: mapDone, ShuffleDone: shuffleDone, Total: total}
+}
+
+func argminFloat(xs []float64) int {
+	best := 0
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,116 @@
+package mr
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// Tagged is a shuffled value: the tuple plus the ordinal of the input
+// that produced it, so join reducers can separate sides.
+type Tagged struct {
+	Tag   uint8
+	Tuple relation.Tuple
+}
+
+// Emitter receives map output. Key routing is by the job's Partition
+// function (default key mod numReducers).
+type Emitter func(key uint64, tag uint8, value relation.Tuple)
+
+// MapFunc transforms one input tuple into zero or more (key, tagged
+// tuple) pairs.
+type MapFunc func(t relation.Tuple, emit Emitter)
+
+// ReduceContext lets reducers report work (candidate combinations
+// checked) for the Metrics and emit output tuples.
+type ReduceContext struct {
+	out          []relation.Tuple
+	combinations int64
+}
+
+// Emit appends an output tuple.
+func (rc *ReduceContext) Emit(t relation.Tuple) { rc.out = append(rc.out, t) }
+
+// AddWork records n candidate combinations examined; it feeds the
+// CombinationsChecked metric (the Π|R_i|/k_R term of Eq. 10).
+func (rc *ReduceContext) AddWork(n int64) { rc.combinations += n }
+
+// ReduceFunc processes all values grouped under one key.
+type ReduceFunc func(key uint64, values []Tagged, ctx *ReduceContext)
+
+// Input binds one relation to the map function applied to its tuples.
+type Input struct {
+	Rel *relation.Relation
+	Map MapFunc
+}
+
+// Job is a single MapReduce job specification (one MRJ in the paper's
+// terms). NumReducers is the user-specified RN(MRJ) of Definition 3.
+type Job struct {
+	Name        string
+	Inputs      []Input
+	Reduce      ReduceFunc
+	NumReducers int
+
+	// Partition routes keys to reducers; nil means key % NumReducers.
+	// Jobs whose keys are already component IDs use an identity
+	// partition.
+	Partition func(key uint64, numReducers int) int
+
+	// OutputName and OutputSchema describe the produced relation.
+	OutputName   string
+	OutputSchema *relation.Schema
+
+	// OutputMultiplier sets the VolumeMultiplier of the output
+	// relation; 0 defaults to the max input multiplier, which keeps
+	// modeled intermediate-result I/O proportional to modeled inputs.
+	OutputMultiplier float64
+
+	// Fault injection: map/reduce task ordinal → number of times the
+	// task fails before succeeding. Failed attempts cost time and are
+	// re-executed, reproducing MapReduce's re-execution fault
+	// tolerance.
+	FailMapTasks    map[int]int
+	FailReduceTasks map[int]int
+}
+
+// Validate reports specification errors.
+func (j *Job) Validate() error {
+	if j.Name == "" {
+		return fmt.Errorf("mr: job has no name")
+	}
+	if len(j.Inputs) == 0 {
+		return fmt.Errorf("mr: job %s has no inputs", j.Name)
+	}
+	if len(j.Inputs) > 255 {
+		return fmt.Errorf("mr: job %s has %d inputs; max 255 (tag is uint8)", j.Name, len(j.Inputs))
+	}
+	for i, in := range j.Inputs {
+		if in.Rel == nil {
+			return fmt.Errorf("mr: job %s input %d has nil relation", j.Name, i)
+		}
+		if in.Map == nil {
+			return fmt.Errorf("mr: job %s input %d has nil map function", j.Name, i)
+		}
+	}
+	if j.Reduce == nil {
+		return fmt.Errorf("mr: job %s has nil reduce function", j.Name)
+	}
+	if j.NumReducers < 1 {
+		return fmt.Errorf("mr: job %s has %d reducers; must be >= 1", j.Name, j.NumReducers)
+	}
+	if j.OutputSchema == nil {
+		return fmt.Errorf("mr: job %s has nil output schema", j.Name)
+	}
+	return nil
+}
+
+// IdentityPartition treats the key itself as the reducer ordinal
+// (clamped); used when map keys are component IDs in [0, NumReducers).
+func IdentityPartition(key uint64, numReducers int) int {
+	r := int(key)
+	if r < 0 || r >= numReducers {
+		r = int(key % uint64(numReducers))
+	}
+	return r
+}

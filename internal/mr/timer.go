@@ -1,0 +1,115 @@
+package mr
+
+import "math"
+
+// Timer converts byte volumes into simulated seconds. The engine's
+// event loop composes these primitives into the job makespan; the
+// analytic cost model (internal/cost) uses the same primitives in
+// closed form, so "estimated" vs "simulated" comparisons (Fig. 8) are
+// meaningful.
+type Timer interface {
+	// MapTaskTime is t_M for one map task: sequential scan of its split
+	// plus spilling its output (Eq. 1: (C1 + p·α)·S_I/m).
+	MapTaskTime(inputBytes, outputBytes int64) float64
+
+	// CopyTime is t_CP for one map task's output moving to n reducers
+	// (Eq. 3: C2·α·S_I/(n·m) + q·n).
+	CopyTime(outputBytes int64, numReducers int) float64
+
+	// ReduceTime is the run time of one reduce task over its input
+	// (Eq. 5: (p + β·C1)·S_r).
+	ReduceTime(inputBytes, outputBytes int64) float64
+}
+
+// StdTimer implements Timer with the device constants of Config and
+// the paper's p/q behaviour:
+//
+//   - C1, the per-byte sequential read cost, is 1/DiskReadMBps.
+//   - p, the spill cost, is the per-byte write cost inflated
+//     logarithmically once map output exceeds the sort buffer
+//     (multi-pass merge), matching "p increases while spilled data
+//     size grows".
+//   - q, the connection-service overhead, grows superlinearly with the
+//     reducer count ("rapid growth of q while n gets larger").
+type StdTimer struct {
+	ReadBps    float64 // bytes/second sequential read
+	WriteBps   float64 // bytes/second write
+	NetBps     float64 // bytes/second per map-to-reduce stream
+	SortBuf    int64   // io.sort.mb in bytes
+	SortFactor int     // io.sort.factor: runs merged per pass
+	QBase      float64 // seconds per connection at n=1
+	// Overhead floor per task (JVM start, scheduling), seconds.
+	TaskOverhead float64
+}
+
+// NewStdTimer derives a timer from the configuration.
+func NewStdTimer(cfg Config) *StdTimer {
+	sf := cfg.IoSortFactor
+	if sf < 2 {
+		sf = 300
+	}
+	return &StdTimer{
+		ReadBps:      cfg.DiskReadMBps * 1e6,
+		WriteBps:     cfg.DiskWriteMBps * 1e6,
+		NetBps:       cfg.NetworkMBps * 1e6,
+		SortBuf:      int64(cfg.IoSortMB) * 1e6,
+		SortFactor:   sf,
+		QBase:        0.0005,
+		TaskOverhead: 1.0,
+	}
+}
+
+// SpillFactor returns p's inflation multiplier for a given spilled
+// volume: 1 while the data fits the sort buffer, growing gently with
+// the (io.sort.factor-ary) merge depth — Hadoop merges up to
+// io.sort.factor runs per pass, so even hundreds of runs cost one
+// extra pass, matching the paper's mild growth of p (Fig. 7b).
+func (t *StdTimer) SpillFactor(outputBytes int64) float64 {
+	if outputBytes <= t.SortBuf || t.SortBuf <= 0 {
+		return 1
+	}
+	runs := float64(outputBytes) / float64(t.SortBuf)
+	factor := float64(t.SortFactor)
+	if factor < 2 {
+		factor = 300
+	}
+	return 1 + 0.3*(1+math.Log(runs)/math.Log(factor))
+}
+
+// QValue returns the per-connection overhead coefficient q as a
+// function of reducer count. q itself grows linearly in n, so the q·n
+// term of Eq. 3 grows quadratically — the "rapid growth of q while n
+// gets larger" that creates the Fig. 6 inflection and keeps the
+// optimal k_R of Fig. 7a in the tens rather than the hundreds.
+func (t *StdTimer) QValue(numReducers int) float64 {
+	if numReducers < 1 {
+		numReducers = 1
+	}
+	return t.QBase * float64(numReducers)
+}
+
+// MapTaskTime implements Timer.
+func (t *StdTimer) MapTaskTime(inputBytes, outputBytes int64) float64 {
+	read := float64(inputBytes) / t.ReadBps
+	spill := float64(outputBytes) / t.WriteBps * t.SpillFactor(outputBytes)
+	return t.TaskOverhead + read + spill
+}
+
+// CopyTime implements Timer.
+func (t *StdTimer) CopyTime(outputBytes int64, numReducers int) float64 {
+	if numReducers < 1 {
+		numReducers = 1
+	}
+	transfer := float64(outputBytes) / t.NetBps
+	service := t.QValue(numReducers) * float64(numReducers)
+	return transfer + service
+}
+
+// ReduceTime implements Timer.
+func (t *StdTimer) ReduceTime(inputBytes, outputBytes int64) float64 {
+	// Read + sort-merge the shuffled input (charged at write rate: the
+	// merge spills), then write the final output to the DFS.
+	merge := float64(inputBytes) / t.WriteBps * t.SpillFactor(inputBytes)
+	write := float64(outputBytes) / t.WriteBps
+	return t.TaskOverhead + merge + write
+}

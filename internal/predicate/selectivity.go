@@ -1,0 +1,203 @@
+package predicate
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// Selectivity estimation. The paper runs a sampling pass at data-upload
+// time (§6.3: "we run a sampling algorithm to collect rough data
+// statistics") and uses selectivities to derive the Map/Reduce output
+// ratios α and β of the cost model (§4.1). We estimate a condition's
+// selectivity by evaluating it over the cross product of the retained
+// sample rows of both relations; histogram-based closed forms back the
+// estimate up when samples are unavailable.
+
+// EstimateSelectivity returns the estimated fraction of the cross
+// product |L|×|R| satisfying the condition, in [0,1].
+func EstimateSelectivity(c Condition, cat *relation.Catalog) (float64, error) {
+	ls, err := cat.Stats(c.Left)
+	if err != nil {
+		return 0, err
+	}
+	rs, err := cat.Stats(c.Right)
+	if err != nil {
+		return 0, err
+	}
+	if sel, ok := sampleSelectivity(c, ls, rs); ok {
+		return sel, nil
+	}
+	return histogramSelectivity(c, ls, rs)
+}
+
+// sampleSelectivity evaluates c over sample row pairs. It caps the pair
+// count to keep estimation cheap, striding through the larger sample.
+func sampleSelectivity(c Condition, ls, rs *relation.TableStats) (float64, bool) {
+	const maxPairs = 250000
+	if len(ls.SampleRows) == 0 || len(rs.SampleRows) == 0 {
+		return 0, false
+	}
+	lIdx := columnOrdinal(ls, c.LeftColumn)
+	rIdx := columnOrdinal(rs, c.RightColumn)
+	if lIdx < 0 || rIdx < 0 {
+		return 0, false
+	}
+	lRows, rRows := ls.SampleRows, rs.SampleRows
+	// Stride sampling keeps the pair count bounded while remaining
+	// deterministic.
+	lStride, rStride := 1, 1
+	for (len(lRows)/lStride)*(len(rRows)/rStride) > maxPairs {
+		if len(lRows)/lStride >= len(rRows)/rStride {
+			lStride++
+		} else {
+			rStride++
+		}
+	}
+	match, total := 0, 0
+	for i := 0; i < len(lRows); i += lStride {
+		lv := lRows[i][lIdx].Add(c.LeftOffset)
+		for j := 0; j < len(rRows); j += rStride {
+			rv := rRows[j][rIdx].Add(c.RightOffset)
+			total++
+			if c.Op.Eval(relation.Compare(lv, rv)) {
+				match++
+			}
+		}
+	}
+	if total == 0 {
+		return 0, false
+	}
+	return float64(match) / float64(total), true
+}
+
+// columnOrdinal finds the position of a named column within the sample
+// rows by consulting the per-column stats map; sample rows follow the
+// relation's schema order, which Analyze preserves. Returns -1 when the
+// column is unknown.
+func columnOrdinal(ts *relation.TableStats, name string) int {
+	// TableStats does not retain the schema, but SampleRows tuples are
+	// in schema order and ColumnStats knows the set of names. We locate
+	// the ordinal by probing the stats map's insertion invariants: the
+	// histogram carries no ordinal, so we fall back to matching values.
+	// To keep this robust, Analyze stores columns keyed by name and we
+	// recover ordinals via ColumnOrder.
+	for i, n := range ts.ColumnOrder() {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// histogramSelectivity combines per-column histograms under an
+// independence assumption. For EQ it uses 1/max(distinct); for NE the
+// complement; for range operators it integrates P[L θ R] assuming
+// uniform bucketed distributions.
+func histogramSelectivity(c Condition, ls, rs *relation.TableStats) (float64, error) {
+	lcs, ok := ls.Columns[c.LeftColumn]
+	if !ok {
+		return 0, fmt.Errorf("predicate: no stats for %s.%s", c.Left, c.LeftColumn)
+	}
+	rcs, ok := rs.Columns[c.RightColumn]
+	if !ok {
+		return 0, fmt.Errorf("predicate: no stats for %s.%s", c.Right, c.RightColumn)
+	}
+	switch c.Op {
+	case EQ:
+		d := lcs.Distinct
+		if rcs.Distinct > d {
+			d = rcs.Distinct
+		}
+		if d <= 0 {
+			return 0.5, nil
+		}
+		return 1 / float64(d), nil
+	case NE:
+		d := lcs.Distinct
+		if rcs.Distinct > d {
+			d = rcs.Distinct
+		}
+		if d <= 0 {
+			return 0.5, nil
+		}
+		return 1 - 1/float64(d), nil
+	}
+	// Range operator: P[L+lo θ R+ro]. Sample the left histogram domain
+	// at bucket midpoints and integrate the right CDF.
+	if len(rcs.BucketCount) == 0 || len(lcs.BucketCount) == 0 {
+		return 0.5, nil
+	}
+	lw := (lcs.HistMax - lcs.HistMin)
+	steps := len(lcs.BucketCount)
+	if lw <= 0 || steps == 0 {
+		// Degenerate single-point distribution.
+		v := lcs.HistMin + c.LeftOffset - c.RightOffset
+		p := rcs.FracLess(v)
+		switch c.Op {
+		case LT, LE:
+			return 1 - p, nil
+		default:
+			return p, nil
+		}
+	}
+	totalL := 0
+	for _, b := range lcs.BucketCount {
+		totalL += b
+	}
+	if totalL == 0 {
+		return 0.5, nil
+	}
+	acc := 0.0
+	bw := lw / float64(steps)
+	for i, cnt := range lcs.BucketCount {
+		mid := lcs.HistMin + (float64(i)+0.5)*bw + c.LeftOffset - c.RightOffset
+		pLess := rcs.FracLess(mid) // P[R' < mid]
+		var p float64
+		switch c.Op {
+		case LT, LE:
+			p = 1 - pLess // P[mid < R']
+		case GT, GE:
+			p = pLess
+		}
+		acc += p * float64(cnt)
+	}
+	return acc / float64(totalL), nil
+}
+
+// EstimateConjunction multiplies member selectivities under the
+// independence assumption the paper's model inherits from classic
+// System R estimation.
+func EstimateConjunction(cj Conjunction, cat *relation.Catalog) (float64, error) {
+	sel := 1.0
+	for _, c := range cj {
+		s, err := EstimateSelectivity(c, cat)
+		if err != nil {
+			return 0, err
+		}
+		sel *= s
+	}
+	return sel, nil
+}
+
+// ExactSelectivity computes the true fraction of the cross product
+// satisfying the condition. Exponential in data size; used only in
+// tests and by Table 2/3 harnesses over generated data.
+func ExactSelectivity(c Condition, left, right *relation.Relation) (float64, error) {
+	eval, err := c.Bound(left.Schema, right.Schema)
+	if err != nil {
+		return 0, err
+	}
+	if left.Cardinality() == 0 || right.Cardinality() == 0 {
+		return 0, nil
+	}
+	match := 0
+	for _, lt := range left.Tuples {
+		for _, rt := range right.Tuples {
+			if eval(lt, rt) {
+				match++
+			}
+		}
+	}
+	return float64(match) / (float64(left.Cardinality()) * float64(right.Cardinality())), nil
+}

@@ -1,0 +1,213 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/predicate"
+)
+
+// Parse builds a Query from a SQL-ish join specification:
+//
+//	FROM calls t1, calls t2, calls t3
+//	WHERE t1.bt <= t2.bt AND t1.l >= t2.l
+//	  AND t2.bsc = t3.bsc AND t2.d = t3.d
+//
+// Grammar (case-insensitive keywords, free whitespace):
+//
+//	spec      := "FROM" fromItem ("," fromItem)* "WHERE" cond ("AND" cond)*
+//	fromItem  := table [alias]
+//	cond      := operand op operand
+//	operand   := rel "." col [("+"|"-") number]
+//	op        := "<" | "<=" | "=" | ">=" | ">" | "<>" | "!="
+//
+// The returned aliases map lists alias → table for every FROM item, so
+// callers can register the needed relations (core.DB.Alias) before
+// planning self-joins.
+func Parse(name, spec string) (q *Query, aliases map[string]string, err error) {
+	toks, err := tokenize(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	p := &parser{toks: toks}
+	if !p.eatKeyword("FROM") {
+		return nil, nil, fmt.Errorf("query: parse: expected FROM, got %q", p.peek())
+	}
+	aliases = make(map[string]string)
+	var relNames []string
+	for {
+		table := p.next()
+		if table == "" || isKeyword(table) {
+			return nil, nil, fmt.Errorf("query: parse: expected table name, got %q", table)
+		}
+		alias := table
+		if n := p.peek(); n != "" && n != "," && !isKeyword(n) && isIdent(n) {
+			alias = p.next()
+		}
+		if _, dup := aliases[alias]; dup {
+			return nil, nil, fmt.Errorf("query: parse: duplicate alias %q", alias)
+		}
+		aliases[alias] = table
+		relNames = append(relNames, alias)
+		if p.peek() == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	if !p.eatKeyword("WHERE") {
+		return nil, nil, fmt.Errorf("query: parse: expected WHERE, got %q", p.peek())
+	}
+	var conds []predicate.Condition
+	for {
+		c, err := p.condition()
+		if err != nil {
+			return nil, nil, err
+		}
+		conds = append(conds, c)
+		if p.eatKeyword("AND") {
+			continue
+		}
+		break
+	}
+	if rest := p.peek(); rest != "" {
+		return nil, nil, fmt.Errorf("query: parse: trailing input at %q", rest)
+	}
+	q, err = New(name, relNames, conds)
+	if err != nil {
+		return nil, nil, err
+	}
+	return q, aliases, nil
+}
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) peek() string {
+	if p.pos >= len(p.toks) {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	if t != "" {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) eatKeyword(kw string) bool {
+	if strings.EqualFold(p.peek(), kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func isKeyword(s string) bool {
+	switch strings.ToUpper(s) {
+	case "FROM", "WHERE", "AND":
+		return true
+	}
+	return false
+}
+
+func isIdent(s string) bool {
+	for i, r := range s {
+		if unicode.IsLetter(r) || r == '_' || (i > 0 && unicode.IsDigit(r)) {
+			continue
+		}
+		return false
+	}
+	return s != ""
+}
+
+// operand parses rel.col with an optional additive constant.
+func (p *parser) operand() (rel, col string, offset float64, err error) {
+	t := p.next()
+	dot := strings.IndexByte(t, '.')
+	if dot <= 0 || dot == len(t)-1 {
+		return "", "", 0, fmt.Errorf("query: parse: expected rel.col, got %q", t)
+	}
+	rel, col = t[:dot], t[dot+1:]
+	if !isIdent(rel) || !isIdent(col) {
+		return "", "", 0, fmt.Errorf("query: parse: malformed operand %q", t)
+	}
+	if sign := p.peek(); sign == "+" || sign == "-" {
+		p.next()
+		numTok := p.next()
+		n, err := strconv.ParseFloat(numTok, 64)
+		if err != nil {
+			return "", "", 0, fmt.Errorf("query: parse: expected number after %q, got %q", sign, numTok)
+		}
+		if sign == "-" {
+			n = -n
+		}
+		offset = n
+	}
+	return rel, col, offset, nil
+}
+
+func (p *parser) condition() (predicate.Condition, error) {
+	lRel, lCol, lOff, err := p.operand()
+	if err != nil {
+		return predicate.Condition{}, err
+	}
+	opTok := p.next()
+	op, err := predicate.ParseOp(opTok)
+	if err != nil {
+		return predicate.Condition{}, fmt.Errorf("query: parse: %w", err)
+	}
+	rRel, rCol, rOff, err := p.operand()
+	if err != nil {
+		return predicate.Condition{}, err
+	}
+	return predicate.C(lRel, lCol, op, rRel, rCol).WithOffsets(lOff, rOff), nil
+}
+
+// tokenize splits the spec into identifiers, numbers, commas, signs and
+// operator tokens.
+func tokenize(s string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == ',':
+			toks = append(toks, ",")
+			i++
+		case c == '+' || c == '-':
+			toks = append(toks, string(c))
+			i++
+		case c == '<' || c == '>' || c == '=' || c == '!':
+			j := i + 1
+			if j < len(s) && (s[j] == '=' || s[j] == '>') {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		case isWordByte(c):
+			j := i
+			for j < len(s) && (isWordByte(s[j]) || s[j] == '.') {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		default:
+			return nil, fmt.Errorf("query: parse: unexpected character %q", c)
+		}
+	}
+	return toks, nil
+}
+
+func isWordByte(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+}

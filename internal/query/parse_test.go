@@ -1,0 +1,118 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/predicate"
+)
+
+func TestParseMobileQ1(t *testing.T) {
+	q, aliases, err := Parse("Q1", `
+		FROM calls t1, calls t2, calls t3
+		WHERE t1.bt <= t2.bt AND t1.l >= t2.l
+		  AND t2.bsc = t3.bsc AND t2.d = t3.d`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Relations) != 3 || q.Relations[0] != "t1" {
+		t.Errorf("relations = %v", q.Relations)
+	}
+	if len(q.Conditions) != 4 {
+		t.Fatalf("conditions = %d", len(q.Conditions))
+	}
+	if aliases["t2"] != "calls" || len(aliases) != 3 {
+		t.Errorf("aliases = %v", aliases)
+	}
+	c := q.Conditions[0]
+	if c.Left != "t1" || c.LeftColumn != "bt" || c.Op != predicate.LE || c.Right != "t2" {
+		t.Errorf("first condition = %v", c)
+	}
+}
+
+func TestParseOffsets(t *testing.T) {
+	q, _, err := Parse("q3ish", `
+		FROM calls t1, calls t3
+		WHERE t1.d + 3 > t3.d AND t1.d < t3.d - 1.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Conditions[0].LeftOffset != 3 {
+		t.Errorf("left offset = %v", q.Conditions[0].LeftOffset)
+	}
+	if q.Conditions[1].RightOffset != -1.5 {
+		t.Errorf("right offset = %v", q.Conditions[1].RightOffset)
+	}
+}
+
+func TestParseNoAlias(t *testing.T) {
+	q, aliases, err := Parse("q", `FROM a, b WHERE a.x <> b.y`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aliases["a"] != "a" || aliases["b"] != "b" {
+		t.Errorf("aliases = %v", aliases)
+	}
+	if q.Conditions[0].Op != predicate.NE {
+		t.Errorf("op = %v", q.Conditions[0].Op)
+	}
+}
+
+func TestParseOperatorSpellings(t *testing.T) {
+	for spelling, want := range map[string]predicate.Op{
+		"<": predicate.LT, "<=": predicate.LE, "=": predicate.EQ,
+		">=": predicate.GE, ">": predicate.GT, "<>": predicate.NE, "!=": predicate.NE,
+	} {
+		q, _, err := Parse("q", "FROM a, b WHERE a.x "+spelling+" b.y")
+		if err != nil {
+			t.Fatalf("%q: %v", spelling, err)
+		}
+		if q.Conditions[0].Op != want {
+			t.Errorf("%q parsed as %v, want %v", spelling, q.Conditions[0].Op, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                                     // empty
+		"WHERE a.x < b.y",                      // missing FROM
+		"FROM a, b",                            // missing WHERE
+		"FROM a, b WHERE a.x < b.y AND",        // dangling AND
+		"FROM a, b WHERE x < b.y",              // operand without dot
+		"FROM a, b WHERE a.x ~ b.y",            // bad operator
+		"FROM a, b WHERE a.x < b.y extra.z",    // trailing tokens
+		"FROM a, a WHERE a.x < a.y",            // duplicate alias
+		"FROM a, b WHERE a.x + foo > b.y",      // bad offset number
+		"FROM a, b WHERE a.x < a.y",            // self-loop (query.New rejects)
+		"FROM a, b, c WHERE a.x < b.y",         // disconnected (c unused)
+		"FROM a, b WHERE a.x < b.y AND ; true", // bad character
+	}
+	for _, spec := range cases {
+		if _, _, err := Parse("q", spec); err == nil {
+			t.Errorf("accepted %q", spec)
+		}
+	}
+}
+
+func TestParseWhitespaceRobust(t *testing.T) {
+	q, _, err := Parse("q", "FROM\n\ta x ,\n b\ty\nWHERE\nx.c1<=y.c2\nAND x.c3>y.c4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Conditions) != 2 || q.Relations[0] != "x" || q.Relations[1] != "y" {
+		t.Errorf("parse = %v", q)
+	}
+}
+
+func TestParseRoundTripAgainstManual(t *testing.T) {
+	manual := MustNew("m", []string{"A", "B"}, []predicate.Condition{
+		predicate.C("A", "v", predicate.LT, "B", "w").WithOffsets(2, 0),
+	})
+	parsed, _, err := Parse("m", "FROM A, B WHERE A.v + 2 < B.w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if manual.Conditions[0].String() != parsed.Conditions[0].String() {
+		t.Errorf("mismatch: %v vs %v", manual.Conditions[0], parsed.Conditions[0])
+	}
+}

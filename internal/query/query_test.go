@@ -1,0 +1,236 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/predicate"
+)
+
+func chain3(t *testing.T) *Query {
+	t.Helper()
+	q, err := New("chain3",
+		[]string{"A", "B", "C"},
+		[]predicate.Condition{
+			predicate.C("A", "x", predicate.LT, "B", "y"),
+			predicate.C("B", "y", predicate.GE, "C", "z"),
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// fig1Graph builds the 5-relation, 6-condition example of Fig. 1.
+// Edges: θ1(R1,R2) θ2(R2,R3) θ3(R1,R3) θ4(R3,R4) θ5(R3,R5) θ6(R4,R5).
+func fig1Graph(t *testing.T) *Query {
+	t.Helper()
+	q, err := New("fig1",
+		[]string{"R1", "R2", "R3", "R4", "R5"},
+		[]predicate.Condition{
+			predicate.C("R1", "a", predicate.LT, "R2", "a"),
+			predicate.C("R2", "a", predicate.LT, "R3", "a"),
+			predicate.C("R1", "a", predicate.LT, "R3", "a"),
+			predicate.C("R3", "a", predicate.LT, "R4", "a"),
+			predicate.C("R3", "a", predicate.LT, "R5", "a"),
+			predicate.C("R4", "a", predicate.LT, "R5", "a"),
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestNewValidation(t *testing.T) {
+	cond := predicate.C("A", "x", predicate.LT, "B", "y")
+	if _, err := New("q", []string{"A"}, []predicate.Condition{cond}); err == nil {
+		t.Error("single relation accepted")
+	}
+	if _, err := New("q", []string{"A", "A"}, []predicate.Condition{cond}); err == nil {
+		t.Error("duplicate relation accepted")
+	}
+	if _, err := New("q", []string{"A", "B"}, nil); err == nil {
+		t.Error("no conditions accepted")
+	}
+	if _, err := New("q", []string{"A", "B"}, []predicate.Condition{predicate.C("A", "x", predicate.LT, "Z", "y")}); err == nil {
+		t.Error("undeclared relation accepted")
+	}
+	if _, err := New("q", []string{"A", "B"}, []predicate.Condition{predicate.C("A", "x", predicate.LT, "A", "y")}); err == nil {
+		t.Error("self-loop accepted")
+	}
+	// Disconnected: A-B edge only, C declared.
+	if _, err := New("q", []string{"A", "B", "C"}, []predicate.Condition{cond}); err == nil {
+		t.Error("disconnected graph accepted")
+	}
+	if _, err := New("q", []string{"A", "B", ""}, []predicate.Condition{cond}); err == nil {
+		t.Error("empty relation name accepted")
+	}
+}
+
+func TestConditionIDsAssigned(t *testing.T) {
+	q := chain3(t)
+	for i, c := range q.Conditions {
+		if c.ID != i+1 {
+			t.Errorf("condition %d has ID %d", i, c.ID)
+		}
+	}
+	c, ok := q.Condition(2)
+	if !ok || c.Left != "B" {
+		t.Errorf("Condition(2) = %v, %v", c, ok)
+	}
+	if _, ok := q.Condition(0); ok {
+		t.Error("Condition(0) succeeded")
+	}
+	if _, ok := q.Condition(99); ok {
+		t.Error("Condition(99) succeeded")
+	}
+	ids := q.ConditionIDs()
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 2 {
+		t.Errorf("ConditionIDs = %v", ids)
+	}
+}
+
+func TestJoinGraphStructure(t *testing.T) {
+	g := fig1Graph(t).JoinGraph()
+	if len(g.Vertices) != 5 || len(g.Edges) != 6 {
+		t.Fatalf("graph shape %d vertices %d edges", len(g.Vertices), len(g.Edges))
+	}
+	if g.Degree("R3") != 4 {
+		t.Errorf("deg(R3) = %d, want 4", g.Degree("R3"))
+	}
+	if g.Degree("R1") != 2 {
+		t.Errorf("deg(R1) = %d, want 2", g.Degree("R1"))
+	}
+	if !g.Connected() {
+		t.Error("fig1 graph not connected")
+	}
+}
+
+func TestEulerianProperties(t *testing.T) {
+	g := fig1Graph(t).JoinGraph()
+	// All degrees even (2,2,4,2,2) → Eulerian circuit, as the paper
+	// notes for Fig. 1.
+	if !g.HasEulerianCircuit() {
+		t.Error("fig1 graph should have an Eulerian circuit")
+	}
+	if !g.HasEulerianTrail() {
+		t.Error("fig1 graph should have an Eulerian trail")
+	}
+	if odd := g.OddDegreeVertices(); len(odd) != 0 {
+		t.Errorf("odd vertices = %v", odd)
+	}
+	// chain3: endpoints odd.
+	g2 := chain3(t).JoinGraph()
+	odd := g2.OddDegreeVertices()
+	if len(odd) != 2 || odd[0] != "A" || odd[1] != "C" {
+		t.Errorf("chain odd vertices = %v", odd)
+	}
+	if !g2.HasEulerianTrail() || g2.HasEulerianCircuit() {
+		t.Error("chain Eulerian classification wrong")
+	}
+}
+
+func TestIsChain(t *testing.T) {
+	g := fig1Graph(t).JoinGraph()
+	// θ1(R1,R2), θ2(R2,R3): chain R1-R2-R3.
+	order, ok := g.IsChain([]int{1, 2})
+	if !ok {
+		t.Fatal("1,2 not recognized as chain")
+	}
+	if len(order) != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	// θ1, θ2, θ4: chain R1-R2-R3-R4.
+	if order, ok := g.IsChain([]int{1, 2, 4}); !ok || len(order) != 4 {
+		t.Errorf("1,2,4 chain = %v, %v", order, ok)
+	}
+	// θ1, θ4 disconnected → not a chain.
+	if _, ok := g.IsChain([]int{1, 4}); ok {
+		t.Error("disconnected edges accepted as chain")
+	}
+	// θ4, θ5, θ6 triangle → not a chain (no endpoints).
+	if _, ok := g.IsChain([]int{4, 5, 6}); ok {
+		t.Error("cycle accepted as chain")
+	}
+	// θ1, θ2, θ3 triangle → not a chain.
+	if _, ok := g.IsChain([]int{1, 2, 3}); ok {
+		t.Error("triangle accepted as chain")
+	}
+	// θ2, θ4, θ5: star at R3 → degree 3 → not a chain.
+	if _, ok := g.IsChain([]int{2, 4, 5}); ok {
+		t.Error("star accepted as chain")
+	}
+	// Repeated edge id.
+	if _, ok := g.IsChain([]int{1, 1}); ok {
+		t.Error("repeated edge accepted")
+	}
+	// Unknown id.
+	if _, ok := g.IsChain([]int{42}); ok {
+		t.Error("unknown edge accepted")
+	}
+	// Single edge is a chain.
+	if order, ok := g.IsChain([]int{6}); !ok || len(order) != 2 {
+		t.Errorf("single edge chain = %v, %v", order, ok)
+	}
+	// Empty.
+	if _, ok := g.IsChain(nil); ok {
+		t.Error("empty chain accepted")
+	}
+}
+
+func TestChainOrderEndpoints(t *testing.T) {
+	g := fig1Graph(t).JoinGraph()
+	order, ok := g.IsChain([]int{1, 2, 4, 6})
+	// R1-θ1-R2-θ2-R3-θ4-R4-θ6-R5
+	if !ok || len(order) != 5 {
+		t.Fatalf("chain = %v, %v", order, ok)
+	}
+	if order[0] != "R1" || order[4] != "R5" {
+		t.Errorf("endpoints %v", order)
+	}
+}
+
+func TestSubgraphConditions(t *testing.T) {
+	g := fig1Graph(t).JoinGraph()
+	cj, err := g.SubgraphConditions([]int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cj) != 2 || cj[0].ID != 2 || cj[1].ID != 4 {
+		t.Errorf("conjunction = %v", cj)
+	}
+	if _, err := g.SubgraphConditions([]int{99}); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestChainConstructor(t *testing.T) {
+	conds := []predicate.Condition{
+		predicate.C("A", "x", predicate.LT, "B", "y"),
+		predicate.C("C", "z", predicate.GT, "B", "y"), // reversed orientation still links B,C
+	}
+	q, err := Chain("c", []string{"A", "B", "C"}, conds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Conditions) != 2 {
+		t.Fatalf("conditions = %d", len(q.Conditions))
+	}
+	if _, err := Chain("c", []string{"A", "B", "C"}, conds[:1]); err == nil {
+		t.Error("wrong condition count accepted")
+	}
+	bad := []predicate.Condition{
+		predicate.C("A", "x", predicate.LT, "C", "y"),
+		predicate.C("B", "y", predicate.GT, "C", "y"),
+	}
+	if _, err := Chain("c", []string{"A", "B", "C"}, bad); err == nil {
+		t.Error("non-adjacent chain condition accepted")
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	q := chain3(t)
+	s := q.String()
+	if s == "" || len(s) < 10 {
+		t.Errorf("String() = %q", s)
+	}
+}

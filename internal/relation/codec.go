@@ -1,0 +1,270 @@
+package relation
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteCSV writes the relation with a typed header line
+// ("name:kind,...") followed by one CSV record per tuple.
+func WriteCSV(w io.Writer, r *Relation) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, r.Schema.Len())
+	for i := 0; i < r.Schema.Len(); i++ {
+		c := r.Schema.Column(i)
+		header[i] = c.Name + ":" + c.Kind.String()
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, r.Schema.Len())
+	for _, t := range r.Tuples {
+		for i, v := range t {
+			rec[i] = v.String()
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a relation written by WriteCSV. The relation name is
+// supplied by the caller (CSV files do not carry one).
+func ReadCSV(rd io.Reader, name string) (*Relation, error) {
+	cr := csv.NewReader(rd)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: read csv header: %w", err)
+	}
+	cols := make([]Column, len(header))
+	for i, h := range header {
+		parts := strings.SplitN(h, ":", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("relation: malformed csv header field %q (want name:kind)", h)
+		}
+		kind, err := ParseKind(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = Column{Name: parts[0], Kind: kind}
+	}
+	schema, err := NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	rel := New(name, schema)
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: read csv: %w", err)
+		}
+		if len(rec) != len(cols) {
+			return nil, fmt.Errorf("relation: csv record has %d fields, want %d", len(rec), len(cols))
+		}
+		t := make(Tuple, len(cols))
+		for i, field := range rec {
+			v, err := ParseValue(cols[i].Kind, field)
+			if err != nil {
+				return nil, err
+			}
+			t[i] = v
+		}
+		rel.Tuples = append(rel.Tuples, t)
+	}
+	return rel, nil
+}
+
+// Binary codec layout:
+//
+//	magic "RELB" | u16 ncols | per col: u8 kindByte, u16 nameLen, name |
+//	u32 ntuples | per tuple: per value: u8 kind, payload
+//
+// The binary form is what the simulated DFS stores and what shuffle
+// byte accounting measures.
+
+const binaryMagic = "RELB"
+
+// WriteBinary writes the relation in the compact binary format.
+func WriteBinary(w io.Writer, r *Relation) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	var scratch [8]byte
+	writeU16 := func(v uint16) error {
+		binary.LittleEndian.PutUint16(scratch[:2], v)
+		_, err := bw.Write(scratch[:2])
+		return err
+	}
+	writeU32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		_, err := bw.Write(scratch[:4])
+		return err
+	}
+	if err := writeU16(uint16(r.Schema.Len())); err != nil {
+		return err
+	}
+	for i := 0; i < r.Schema.Len(); i++ {
+		c := r.Schema.Column(i)
+		if err := bw.WriteByte(byte(c.Kind)); err != nil {
+			return err
+		}
+		if err := writeU16(uint16(len(c.Name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(c.Name); err != nil {
+			return err
+		}
+	}
+	if err := writeU32(uint32(len(r.Tuples))); err != nil {
+		return err
+	}
+	for _, t := range r.Tuples {
+		for _, v := range t {
+			if err := writeValue(bw, scratch[:], v); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeValue(bw *bufio.Writer, scratch []byte, v Value) error {
+	if err := bw.WriteByte(byte(v.kind)); err != nil {
+		return err
+	}
+	switch v.kind {
+	case KindNull:
+		return nil
+	case KindInt, KindTime:
+		binary.LittleEndian.PutUint64(scratch[:8], uint64(v.i))
+		_, err := bw.Write(scratch[:8])
+		return err
+	case KindFloat:
+		binary.LittleEndian.PutUint64(scratch[:8], floatBits(v.f))
+		_, err := bw.Write(scratch[:8])
+		return err
+	case KindString:
+		binary.LittleEndian.PutUint32(scratch[:4], uint32(len(v.s)))
+		if _, err := bw.Write(scratch[:4]); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(v.s)
+		return err
+	default:
+		return fmt.Errorf("relation: write value: unknown kind %v", v.kind)
+	}
+}
+
+// ReadBinary reads a relation written by WriteBinary.
+func ReadBinary(r io.Reader, name string) (*Relation, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("relation: read binary magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("relation: bad binary magic %q", magic)
+	}
+	var scratch [8]byte
+	readU16 := func() (uint16, error) {
+		if _, err := io.ReadFull(br, scratch[:2]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint16(scratch[:2]), nil
+	}
+	readU32 := func() (uint32, error) {
+		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(scratch[:4]), nil
+	}
+	ncols, err := readU16()
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]Column, ncols)
+	for i := range cols {
+		kb, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		nameLen, err := readU16()
+		if err != nil {
+			return nil, err
+		}
+		nameBuf := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, nameBuf); err != nil {
+			return nil, err
+		}
+		cols[i] = Column{Name: string(nameBuf), Kind: Kind(kb)}
+	}
+	schema, err := NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	rel := New(name, schema)
+	ntuples, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < ntuples; i++ {
+		t := make(Tuple, ncols)
+		for j := range t {
+			v, err := readValue(br, scratch[:])
+			if err != nil {
+				return nil, err
+			}
+			t[j] = v
+		}
+		rel.Tuples = append(rel.Tuples, t)
+	}
+	return rel, nil
+}
+
+func readValue(br *bufio.Reader, scratch []byte) (Value, error) {
+	kb, err := br.ReadByte()
+	if err != nil {
+		return Null(), err
+	}
+	switch Kind(kb) {
+	case KindNull:
+		return Null(), nil
+	case KindInt, KindTime:
+		if _, err := io.ReadFull(br, scratch[:8]); err != nil {
+			return Null(), err
+		}
+		n := int64(binary.LittleEndian.Uint64(scratch[:8]))
+		if Kind(kb) == KindTime {
+			return TimeUnix(n), nil
+		}
+		return Int(n), nil
+	case KindFloat:
+		if _, err := io.ReadFull(br, scratch[:8]); err != nil {
+			return Null(), err
+		}
+		return Float(floatFromBits(binary.LittleEndian.Uint64(scratch[:8]))), nil
+	case KindString:
+		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+			return Null(), err
+		}
+		n := binary.LittleEndian.Uint32(scratch[:4])
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return Null(), err
+		}
+		return String_(string(buf)), nil
+	default:
+		return Null(), fmt.Errorf("relation: read value: unknown kind byte %d", kb)
+	}
+}

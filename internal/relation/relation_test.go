@@ -1,0 +1,358 @@
+package relation
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema(
+		Column{Name: "id", Kind: KindInt},
+		Column{Name: "name", Kind: KindString},
+		Column{Name: "score", Kind: KindFloat},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := testSchema(t)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if i, ok := s.Lookup("name"); !ok || i != 1 {
+		t.Errorf("Lookup(name) = %d, %v", i, ok)
+	}
+	if _, ok := s.Lookup("missing"); ok {
+		t.Error("Lookup(missing) succeeded")
+	}
+	if got := s.String(); got != "id:int, name:string, score:float" {
+		t.Errorf("String() = %q", got)
+	}
+	if !s.Equal(testSchema(t)) {
+		t.Error("Equal(self-copy) = false")
+	}
+}
+
+func TestSchemaErrors(t *testing.T) {
+	if _, err := NewSchema(Column{Name: "", Kind: KindInt}); err == nil {
+		t.Error("empty column name accepted")
+	}
+	if _, err := NewSchema(Column{Name: "a", Kind: KindInt}, Column{Name: "a", Kind: KindInt}); err == nil {
+		t.Error("duplicate column accepted")
+	}
+}
+
+func TestSchemaConcat(t *testing.T) {
+	s := testSchema(t)
+	j := s.Concat("l.", s, "r.")
+	if j.Len() != 6 {
+		t.Fatalf("concat len = %d", j.Len())
+	}
+	if _, ok := j.Lookup("l.id"); !ok {
+		t.Error("missing l.id")
+	}
+	if _, ok := j.Lookup("r.score"); !ok {
+		t.Error("missing r.score")
+	}
+}
+
+func makeRel(t *testing.T, n int) *Relation {
+	t.Helper()
+	r := New("test", testSchema(t))
+	for i := 0; i < n; i++ {
+		r.MustAppend(Tuple{Int(int64(i)), String_("n" + string(rune('a'+i%26))), Float(float64(i) / 2)})
+	}
+	return r
+}
+
+func TestRelationAppendArity(t *testing.T) {
+	r := makeRel(t, 3)
+	if err := r.Append(Tuple{Int(1)}); err == nil {
+		t.Error("short tuple accepted")
+	}
+	if r.Cardinality() != 3 {
+		t.Errorf("cardinality = %d", r.Cardinality())
+	}
+}
+
+func TestRelationProject(t *testing.T) {
+	r := makeRel(t, 5)
+	p, err := r.Project("p", "score", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Schema.Len() != 2 || p.Schema.Column(0).Name != "score" {
+		t.Fatalf("bad projected schema %v", p.Schema)
+	}
+	if p.Cardinality() != 5 {
+		t.Fatalf("projected cardinality %d", p.Cardinality())
+	}
+	if p.Tuples[2][1].Int64() != 2 {
+		t.Errorf("projected value mismatch: %v", p.Tuples[2])
+	}
+	if _, err := r.Project("p", "nope"); err == nil {
+		t.Error("project on missing column succeeded")
+	}
+}
+
+func TestRelationFilterSort(t *testing.T) {
+	r := makeRel(t, 10)
+	f := r.Filter("f", func(tp Tuple) bool { return tp[0].Int64()%2 == 0 })
+	if f.Cardinality() != 5 {
+		t.Fatalf("filter cardinality %d", f.Cardinality())
+	}
+	// Shuffle then sort.
+	rng := rand.New(rand.NewSource(3))
+	rng.Shuffle(len(r.Tuples), func(i, j int) { r.Tuples[i], r.Tuples[j] = r.Tuples[j], r.Tuples[i] })
+	if err := r.SortBy("id"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(r.Tuples); i++ {
+		if r.Tuples[i-1][0].Int64() > r.Tuples[i][0].Int64() {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+	if err := r.SortBy("nope"); err == nil {
+		t.Error("sort by missing column succeeded")
+	}
+}
+
+func TestRelationSample(t *testing.T) {
+	r := makeRel(t, 100)
+	rng := rand.New(rand.NewSource(1))
+	s := r.Sample(10, rng)
+	if len(s) != 10 {
+		t.Fatalf("sample size %d", len(s))
+	}
+	s2 := r.Sample(500, rng)
+	if len(s2) != 100 {
+		t.Fatalf("oversized sample returned %d", len(s2))
+	}
+	if got := r.Sample(0, rng); got != nil {
+		t.Errorf("Sample(0) = %v", got)
+	}
+}
+
+func TestRelationBlocks(t *testing.T) {
+	r := makeRel(t, 10)
+	b := r.Blocks(3)
+	if len(b) != 4 {
+		t.Fatalf("blocks = %d, want 4", len(b))
+	}
+	total := 0
+	for _, blk := range b {
+		total += len(blk)
+	}
+	if total != 10 {
+		t.Fatalf("block tuples total %d", total)
+	}
+	if got := r.Blocks(0); len(got) != 1 || len(got[0]) != 10 {
+		t.Errorf("Blocks(0) shape wrong")
+	}
+	empty := New("e", testSchema(t))
+	if got := empty.Blocks(3); got != nil {
+		t.Errorf("empty relation blocks = %v", got)
+	}
+}
+
+func TestModeledSize(t *testing.T) {
+	r := makeRel(t, 10)
+	raw := r.EncodedSize()
+	if raw <= 0 {
+		t.Fatal("zero encoded size")
+	}
+	r.VolumeMultiplier = 8
+	if got := r.ModeledSize(); got != raw*8 {
+		t.Errorf("modeled size = %d, want %d", got, raw*8)
+	}
+	r.VolumeMultiplier = 0
+	if got := r.ModeledSize(); got != raw {
+		t.Errorf("modeled size with zero multiplier = %d, want %d", got, raw)
+	}
+}
+
+func TestResultSetEqualDiff(t *testing.T) {
+	a, b := NewResultSet(), NewResultSet()
+	t1 := Tuple{Int(1), String_("x")}
+	t2 := Tuple{Int(2), String_("y")}
+	a.Add(t1)
+	a.Add(t1)
+	a.Add(t2)
+	b.Add(t1)
+	b.Add(t2)
+	if a.Equal(b) {
+		t.Error("multisets with different multiplicity compared equal")
+	}
+	b.Add(t1)
+	if !a.Equal(b) {
+		t.Errorf("equal multisets compared unequal: %v", a.Diff(b, 5))
+	}
+	if a.Len() != 3 || a.Distinct() != 2 {
+		t.Errorf("Len/Distinct = %d/%d", a.Len(), a.Distinct())
+	}
+	c := NewResultSet()
+	c.Add(Tuple{Int(9)})
+	if len(a.Diff(c, 10)) == 0 {
+		t.Error("Diff of different sets empty")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := makeRel(t, 25)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Schema.Equal(r.Schema) {
+		t.Fatalf("schema mismatch: %v vs %v", got.Schema, r.Schema)
+	}
+	if got.Cardinality() != r.Cardinality() {
+		t.Fatalf("cardinality mismatch")
+	}
+	for i := range r.Tuples {
+		for j := range r.Tuples[i] {
+			if Compare(r.Tuples[i][j], got.Tuples[i][j]) != 0 {
+				t.Fatalf("tuple %d col %d mismatch: %v vs %v", i, j, r.Tuples[i][j], got.Tuples[i][j])
+			}
+		}
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("bad header\n1\n"), "x"); err == nil {
+		t.Error("malformed header accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("a:int\nnot-an-int\n"), "x"); err == nil {
+		t.Error("malformed int accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("a:bogus\n"), "x"); err == nil {
+		t.Error("bogus kind accepted")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	r := makeRel(t, 40)
+	r.MustAppend(Tuple{Null(), String_(""), Float(-0.5)})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Schema.Equal(r.Schema) {
+		t.Fatal("schema mismatch")
+	}
+	if got.Cardinality() != r.Cardinality() {
+		t.Fatalf("cardinality %d vs %d", got.Cardinality(), r.Cardinality())
+	}
+	want, have := NewResultSet(), NewResultSet()
+	want.AddAll(r.Tuples)
+	have.AddAll(got.Tuples)
+	if !want.Equal(have) {
+		t.Fatalf("tuple mismatch: %v", want.Diff(have, 3))
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("NOPE"), "x"); err == nil {
+		t.Error("garbage magic accepted")
+	}
+	if _, err := ReadBinary(strings.NewReader(""), "x"); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestBinaryQuickProperty(t *testing.T) {
+	schema := MustSchema(Column{Name: "a", Kind: KindInt}, Column{Name: "b", Kind: KindString})
+	f := func(vals []int64, strs []string) bool {
+		r := New("q", schema)
+		n := len(vals)
+		if len(strs) < n {
+			n = len(strs)
+		}
+		for i := 0; i < n; i++ {
+			r.MustAppend(Tuple{Int(vals[i]), String_(strs[i])})
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, r); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf, "q")
+		if err != nil || got.Cardinality() != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if got.Tuples[i][0].Int64() != vals[i] || got.Tuples[i][1].Str() != strs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnalyzeStats(t *testing.T) {
+	r := New("t", MustSchema(Column{Name: "v", Kind: KindInt}))
+	for i := 0; i < 1000; i++ {
+		r.MustAppend(Tuple{Int(int64(i % 100))})
+	}
+	ts := Analyze(r, 500, rand.New(rand.NewSource(5)))
+	cs := ts.Columns["v"]
+	if cs == nil {
+		t.Fatal("no column stats")
+	}
+	if cs.Min.Int64() != 0 {
+		t.Errorf("min = %v", cs.Min)
+	}
+	if cs.Max.Int64() != 99 {
+		t.Errorf("max = %v", cs.Max)
+	}
+	if cs.Distinct < 80 || cs.Distinct > 300 {
+		t.Errorf("distinct estimate = %d, want ~100-200", cs.Distinct)
+	}
+	// FracLess should be approximately linear for uniform data.
+	if f := cs.FracLess(50); f < 0.4 || f > 0.6 {
+		t.Errorf("FracLess(50) = %v, want ~0.5", f)
+	}
+	if f := cs.FracLess(-10); f != 0 {
+		t.Errorf("FracLess below min = %v", f)
+	}
+	if f := cs.FracLess(1000); f != 1 {
+		t.Errorf("FracLess above max = %v", f)
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	r1 := makeRel(t, 30)
+	r1.Name = "alpha"
+	r2 := makeRel(t, 60)
+	r2.Name = "beta"
+	cat := NewCatalog([]*Relation{r1, r2}, 100, rand.New(rand.NewSource(2)))
+	if cat.Cardinality("alpha") != 30 || cat.Cardinality("beta") != 60 {
+		t.Errorf("catalog cardinalities wrong")
+	}
+	if cat.Cardinality("gamma") != 0 {
+		t.Error("unknown relation cardinality != 0")
+	}
+	if _, err := cat.Stats("alpha"); err != nil {
+		t.Error(err)
+	}
+	if _, err := cat.Stats("gamma"); err == nil {
+		t.Error("Stats(gamma) succeeded")
+	}
+}

@@ -1,0 +1,222 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{Null(), KindNull},
+		{Int(42), KindInt},
+		{Float(3.5), KindFloat},
+		{String_("x"), KindString},
+		{TimeUnix(100), KindTime},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("kind of %v = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+	}
+	if !Null().IsNull() {
+		t.Error("Null().IsNull() = false")
+	}
+	if Int(1).IsNull() {
+		t.Error("Int(1).IsNull() = true")
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if got := Int(7).Int64(); got != 7 {
+		t.Errorf("Int(7).Int64() = %d", got)
+	}
+	if got := Float(2.5).Int64(); got != 2 {
+		t.Errorf("Float(2.5).Int64() = %d, want 2", got)
+	}
+	if got := Int(7).Float64(); got != 7.0 {
+		t.Errorf("Int(7).Float64() = %v", got)
+	}
+	if got := String_("hi").Str(); got != "hi" {
+		t.Errorf("Str() = %q", got)
+	}
+	now := time.Date(2012, 8, 1, 0, 0, 0, 0, time.UTC)
+	if got := Time(now).AsTime(); !got.Equal(now) {
+		t.Errorf("AsTime() = %v, want %v", got, now)
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(1), 1},
+		{Int(2), Int(2), 0},
+		{Float(1.5), Int(2), -1},
+		{Int(2), Float(1.5), 1},
+		{Float(2), Int(2), 0},
+		{TimeUnix(5), TimeUnix(9), -1},
+		{TimeUnix(5), Int(5), 0},
+		{String_("a"), String_("b"), -1},
+		{String_("b"), String_("a"), 1},
+		{String_("a"), String_("a"), 0},
+		{Null(), Int(0), -1},
+		{Int(0), Null(), 1},
+		{Null(), Null(), 0},
+		{Int(1), String_("a"), -1}, // numeric before string
+		{String_("a"), Int(1), 1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randVal := func() Value {
+		switch rng.Intn(4) {
+		case 0:
+			return Int(int64(rng.Intn(100) - 50))
+		case 1:
+			return Float(rng.Float64()*100 - 50)
+		case 2:
+			return String_(string(rune('a' + rng.Intn(26))))
+		default:
+			return TimeUnix(int64(rng.Intn(1000)))
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		a, b := randVal(), randVal()
+		if Compare(a, b) != -Compare(b, a) {
+			t.Fatalf("antisymmetry violated for %v, %v", a, b)
+		}
+	}
+}
+
+func TestCompareTransitivityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vals := make([]Value, 60)
+	for i := range vals {
+		switch rng.Intn(3) {
+		case 0:
+			vals[i] = Int(int64(rng.Intn(20)))
+		case 1:
+			vals[i] = Float(float64(rng.Intn(20)))
+		default:
+			vals[i] = String_(string(rune('a' + rng.Intn(5))))
+		}
+	}
+	for _, a := range vals {
+		for _, b := range vals {
+			for _, c := range vals {
+				if Compare(a, b) <= 0 && Compare(b, c) <= 0 && Compare(a, c) > 0 {
+					t.Fatalf("transitivity violated: %v <= %v <= %v but a > c", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestValueAdd(t *testing.T) {
+	if got := Int(5).Add(3); Compare(got, Int(8)) != 0 {
+		t.Errorf("Int(5).Add(3) = %v", got)
+	}
+	if got := Int(5).Add(0.5); Compare(got, Float(5.5)) != 0 {
+		t.Errorf("Int(5).Add(0.5) = %v", got)
+	}
+	if got := Float(1.25).Add(0.25); Compare(got, Float(1.5)) != 0 {
+		t.Errorf("Float add = %v", got)
+	}
+	if got := TimeUnix(100).Add(60); got.Kind() != KindTime || got.Int64() != 160 {
+		t.Errorf("TimeUnix add = %v", got)
+	}
+	if got := String_("x").Add(1); got.Str() != "x" {
+		t.Errorf("String add mutated: %v", got)
+	}
+}
+
+func TestParseValueRoundTrip(t *testing.T) {
+	vals := []Value{Int(-12), Float(3.25), String_("hello, world"), TimeUnix(1349049600), Null()}
+	kinds := []Kind{KindInt, KindFloat, KindString, KindTime, KindInt}
+	for i, v := range vals {
+		got, err := ParseValue(kinds[i], v.String())
+		if err != nil {
+			t.Fatalf("ParseValue(%v, %q): %v", kinds[i], v.String(), err)
+		}
+		if v.IsNull() {
+			if !got.IsNull() {
+				t.Errorf("null roundtrip = %v", got)
+			}
+			continue
+		}
+		if Compare(got, v) != 0 {
+			t.Errorf("roundtrip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestParseValueErrors(t *testing.T) {
+	if _, err := ParseValue(KindInt, "xyz"); err == nil {
+		t.Error("ParseValue(int, xyz) succeeded")
+	}
+	if _, err := ParseValue(KindFloat, "1.2.3"); err == nil {
+		t.Error("ParseValue(float, 1.2.3) succeeded")
+	}
+	if _, err := ParseValue(Kind(99), "1"); err == nil {
+		t.Error("ParseValue(kind 99) succeeded")
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, k := range []Kind{KindNull, KindInt, KindFloat, KindString, KindTime} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("ParseKind(bogus) succeeded")
+	}
+}
+
+func TestEncodedSize(t *testing.T) {
+	if got := Null().EncodedSize(); got != 1 {
+		t.Errorf("null size = %d", got)
+	}
+	if got := Int(1).EncodedSize(); got != 9 {
+		t.Errorf("int size = %d", got)
+	}
+	if got := String_("abcd").EncodedSize(); got != 9 {
+		t.Errorf("string size = %d, want 9", got)
+	}
+	tup := Tuple{Int(1), String_("ab")}
+	want := 4 + 9 + (1 + 4 + 2)
+	if got := tup.EncodedSize(); got != want {
+		t.Errorf("tuple size = %d, want %d", got, want)
+	}
+}
+
+func TestIntCompareQuick(t *testing.T) {
+	f := func(a, b int64) bool {
+		got := Compare(Int(a), Int(b))
+		switch {
+		case a < b:
+			return got == -1
+		case a > b:
+			return got == 1
+		default:
+			return got == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,110 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/predicate"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// The travel-planning scenario of §2.2: n cities c_1…c_n, a flight
+// table FI_{i,i+1} per consecutive pair holding (flight no, departure
+// time dt, arrival time at), and a stay-over window [l1, l2] at each
+// intermediate city. Valid itineraries satisfy, for each hop,
+//
+//	FI_i.at + L_{i+1}.l1 < FI_{i+1}.dt < FI_i.at + L_{i+1}.l2
+//
+// — a chain multi-way theta-join, the paper's flagship use case for
+// the one-job Hilbert evaluation.
+
+// FlightsConfig parameterises the itinerary generator.
+type FlightsConfig struct {
+	Cities        int // number of cities on the route (≥ 2 → Cities-1 legs)
+	FlightsPerLeg int // flights per leg table
+	Days          int // scheduling horizon
+	Seed          int64
+	// StayMin/StayMax are the layover window [l1, l2] in seconds,
+	// applied at every intermediate city.
+	StayMin, StayMax int64
+	NominalGB        float64
+}
+
+// DefaultFlightsConfig gives a 4-city route with 2-hour to 8-hour
+// layovers.
+func DefaultFlightsConfig() FlightsConfig {
+	return FlightsConfig{
+		Cities: 4, FlightsPerLeg: 120, Days: 7, Seed: 1,
+		StayMin: 2 * 3600, StayMax: 8 * 3600,
+	}
+}
+
+// FlightSchema returns (flightno, dt, at).
+func FlightSchema() *relation.Schema {
+	return relation.MustSchema(
+		relation.Column{Name: "flightno", Kind: relation.KindInt},
+		relation.Column{Name: "dt", Kind: relation.KindInt},
+		relation.Column{Name: "at", Kind: relation.KindInt},
+	)
+}
+
+// LegName names the flight table between cities i and i+1 (0-based).
+func LegName(i int) string { return fmt.Sprintf("FI%d_%d", i+1, i+2) }
+
+// FlightsDB generates one relation per leg.
+func FlightsDB(cfg FlightsConfig, sampleSize int) (*core.DB, error) {
+	if cfg.Cities < 2 {
+		return nil, fmt.Errorf("workloads: need >= 2 cities")
+	}
+	if cfg.FlightsPerLeg < 1 {
+		return nil, fmt.Errorf("workloads: need >= 1 flight per leg")
+	}
+	if cfg.Days < 1 {
+		cfg.Days = 7
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	legs := cfg.Cities - 1
+	rels := make([]*relation.Relation, legs)
+	for leg := 0; leg < legs; leg++ {
+		r := relation.New(LegName(leg), FlightSchema())
+		for f := 0; f < cfg.FlightsPerLeg; f++ {
+			dep := int64(rng.Intn(cfg.Days*86400 - 6*3600))
+			dur := int64(3600 + rng.Intn(5*3600))
+			r.MustAppend(relation.Tuple{
+				relation.Int(int64(leg*10000 + f)),
+				relation.Int(dep),
+				relation.Int(dep + dur),
+			})
+		}
+		applyNominal(r, cfg.NominalGB/float64(legs))
+		rels[leg] = r
+	}
+	return core.NewDB(sampleSize, cfg.Seed, rels...)
+}
+
+// FlightsQuery builds the itinerary chain query: for each consecutive
+// leg pair, FI_i.at + l1 < FI_{i+1}.dt AND FI_{i+1}.dt < FI_i.at + l2.
+func FlightsQuery(cfg FlightsConfig) (*query.Query, error) {
+	legs := cfg.Cities - 1
+	if legs < 2 {
+		return nil, fmt.Errorf("workloads: itinerary query needs >= 3 cities")
+	}
+	names := make([]string, legs)
+	for i := range names {
+		names[i] = LegName(i)
+	}
+	var conds []predicate.Condition
+	for i := 0; i+1 < legs; i++ {
+		conds = append(conds,
+			// FI_i.at + l1 < FI_{i+1}.dt
+			predicate.C(names[i], "at", predicate.LT, names[i+1], "dt").
+				WithOffsets(float64(cfg.StayMin), 0),
+			// FI_{i+1}.dt < FI_i.at + l2  ⇔  FI_i.at + l2 > FI_{i+1}.dt
+			predicate.C(names[i], "at", predicate.GT, names[i+1], "dt").
+				WithOffsets(float64(cfg.StayMax), 0),
+		)
+	}
+	return query.New("travelplan", names, conds)
+}
