@@ -9,10 +9,19 @@ package repro
 // experiment, not the simulated cluster time (which the tables print).
 
 import (
+	"context"
+	"fmt"
 	"io"
+	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/mr"
+	"repro/internal/predicate"
+	"repro/internal/query"
+	"repro/internal/relation"
 )
 
 func runExperiment(b *testing.B, id string) {
@@ -78,3 +87,129 @@ func BenchmarkFig13TPCH64(b *testing.B) { runExperiment(b, bench.ExpFig13) }
 // pairwise+merge vs cascade, model-chosen kR vs max reducers, and
 // kP-aware scheduling vs oblivious serial execution.
 func BenchmarkAblations(b *testing.B) { runExperiment(b, bench.ExpAblation) }
+
+// ---- Engine-level benchmarks (not paper figures) --------------------
+//
+// BenchmarkShuffle and BenchmarkConcurrentPlan track the wall-clock
+// effect of the pipelined executor: the parallel partitioned shuffle
+// inside one job, and concurrent plan execution across jobs. Compare
+// the workers=1 / serial sub-benchmarks against the parallel ones.
+
+func shuffleJob(n, fanout, reducers int) *mr.Job {
+	in := relation.New("S", relation.MustSchema(
+		relation.Column{Name: "v", Kind: relation.KindInt},
+	))
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < n; i++ {
+		in.MustAppend(relation.Tuple{relation.Int(int64(rng.Intn(1 << 20)))})
+	}
+	return &mr.Job{
+		Name: "shuffle-bench",
+		Inputs: []mr.Input{{Rel: in, Map: func(t relation.Tuple, emit mr.Emitter) {
+			v := uint64(t[0].Int64())
+			for f := 0; f < fanout; f++ {
+				emit(v*31+uint64(f), 0, t)
+			}
+		}}},
+		Reduce: func(key uint64, values []mr.Tagged, ctx *mr.ReduceContext) {
+			ctx.AddWork(int64(len(values)))
+		},
+		NumReducers:  reducers,
+		OutputName:   "out",
+		OutputSchema: relation.MustSchema(relation.Column{Name: "v", Kind: relation.KindInt}),
+	}
+}
+
+// BenchmarkShuffle measures one map-heavy job whose cost is dominated
+// by partitioning, merging and sorting shuffled pairs.
+func BenchmarkShuffle(b *testing.B) {
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := mr.DefaultConfig()
+			cfg.TuplesPerMapTask = 1024
+			cfg.MaxParallelWorkers = workers
+			job := shuffleJob(60000, 4, 32) // mr.Run never mutates the job
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := mr.Run(context.Background(), cfg, nil, job); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func concurrentPlanFixture(b *testing.B, kp, units int) (*core.Planner, *core.Plan, *core.DB) {
+	b.Helper()
+	mk := func(name string, n int, rng *rand.Rand) *relation.Relation {
+		r := relation.New(name, relation.MustSchema(
+			relation.Column{Name: "a", Kind: relation.KindInt},
+			relation.Column{Name: "b", Kind: relation.KindInt},
+		))
+		for i := 0; i < n; i++ {
+			r.MustAppend(relation.Tuple{
+				relation.Int(int64(rng.Intn(4000))),
+				relation.Int(int64(rng.Intn(4000))),
+			})
+		}
+		return r
+	}
+	rng := rand.New(rand.NewSource(9))
+	db, err := core.NewDB(300, 1, mk("A", 2500, rng), mk("B", 2500, rng), mk("C", 2500, rng))
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := query.MustNew("bench2", []string{"A", "B", "C"}, []predicate.Condition{
+		predicate.C("A", "a", predicate.LT, "B", "a"),
+		predicate.C("B", "b", predicate.GE, "C", "b"),
+	})
+	cfg := mr.DefaultConfig()
+	cfg.TuplesPerMapTask = 256
+	pl := core.NewPlanner(cfg, kp)
+	pl.Opts.MaxCells = 1 << 12
+	// Band-join conjunctions (x < y AND x > y-4) keep the outputs and
+	// the final merge small, so the measurement is dominated by the two
+	// jobs' map/shuffle/reduce work.
+	band := func(l, lc, r, rc string) predicate.Conjunction {
+		return predicate.Conjunction{
+			predicate.C(l, lc, predicate.LT, r, rc),
+			predicate.C(l, lc, predicate.GT, r, rc).WithOffsets(0, -4),
+		}
+	}
+	plan := &core.Plan{
+		Query: q,
+		Jobs: []core.PlannedJob{
+			{Name: "bench2-j1", Conds: band("A", "a", "B", "a"), RelOrder: []string{"A", "B"},
+				Kind: core.KindHilbertTheta, Reducers: 4, Units: units},
+			{Name: "bench2-j2", Conds: band("B", "b", "C", "b"), RelOrder: []string{"B", "C"},
+				Kind: core.KindHilbertTheta, Reducers: 4, Units: units},
+		},
+	}
+	return pl, plan, db
+}
+
+// BenchmarkConcurrentPlan measures executing a 2-independent-job plan.
+// In the serial variant each job demands the full K_P allotment, so
+// the unit semaphore admits one at a time; in the concurrent variant
+// each takes half the units and the jobs overlap.
+func BenchmarkConcurrentPlan(b *testing.B) {
+	const kp = 8
+	for _, mode := range []struct {
+		name  string
+		units int
+	}{{"serial", kp}, {"concurrent", kp / 2}} {
+		b.Run(mode.name, func(b *testing.B) {
+			pl, plan, db := concurrentPlanFixture(b, kp, mode.units)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := pl.Execute(plan, db)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if mode.units < kp && res.MaxConcurrentJobs < 2 {
+					b.Fatalf("expected overlap, got MaxConcurrentJobs=%d", res.MaxConcurrentJobs)
+				}
+			}
+		})
+	}
+}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -59,7 +60,7 @@ func main() {
 			res.Makespan, len(plan.Jobs), res.Output.Cardinality())
 
 		for _, st := range []baselines.Strategy{baselines.YSmart(), baselines.Hive(), baselines.Pig()} {
-			bres, err := baselines.Run(st, cfg, planner.Params, q, db, fullReducers)
+			bres, err := baselines.Run(context.Background(), st, cfg, planner.Params, q, db, fullReducers)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -65,7 +66,7 @@ func main() {
 		}
 		fmt.Printf("  our method : %8.1fs (%d rows)\n", res.Makespan, res.Output.Cardinality())
 		for _, st := range []baselines.Strategy{baselines.YSmart(), baselines.Hive(), baselines.Pig()} {
-			bres, err := baselines.Run(st, cfg, planner.Params, q, db, fullReducers)
+			bres, err := baselines.Run(context.Background(), st, cfg, planner.Params, q, db, fullReducers)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -72,7 +73,7 @@ func TestCascadesMatchNaive(t *testing.T) {
 	wantRS := resultSet(want)
 	params := cost.FromConfig(testConfig())
 	for _, st := range []Strategy{Hive(), Pig(), YSmart()} {
-		res, err := Run(st, testConfig(), params, q, db, 0)
+		res, err := Run(context.Background(), st, testConfig(), params, q, db, 0)
 		if err != nil {
 			t.Fatalf("%s: %v", st.Name, err)
 		}
@@ -105,7 +106,7 @@ func TestCascadeEquiAndMixed(t *testing.T) {
 	wantRS := resultSet(want)
 	params := cost.FromConfig(testConfig())
 	for _, st := range []Strategy{Hive(), Pig(), YSmart()} {
-		res, err := Run(st, testConfig(), params, q, db, 0)
+		res, err := Run(context.Background(), st, testConfig(), params, q, db, 0)
 		if err != nil {
 			t.Fatalf("%s: %v", st.Name, err)
 		}
@@ -145,7 +146,7 @@ func TestCascadesRandomQueries(t *testing.T) {
 		}
 		wantRS := resultSet(want)
 		for _, st := range []Strategy{Hive(), Pig(), YSmart()} {
-			res, err := Run(st, testConfig(), params, q, db, 0)
+			res, err := Run(context.Background(), st, testConfig(), params, q, db, 0)
 			if err != nil {
 				t.Fatalf("trial %d %s: %v", trial, st.Name, err)
 			}
@@ -178,11 +179,11 @@ func TestYSmartFasterThanHiveOnSelfJoins(t *testing.T) {
 		predicate.C("t2", "b", predicate.EQ, "t3", "b"),
 	})
 	params := cost.FromConfig(testConfig())
-	hive, err := Run(Hive(), testConfig(), params, q, db, 0)
+	hive, err := Run(context.Background(), Hive(), testConfig(), params, q, db, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ysmart, err := Run(YSmart(), testConfig(), params, q, db, 0)
+	ysmart, err := Run(context.Background(), YSmart(), testConfig(), params, q, db, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,11 +207,11 @@ func TestPigSlowerThanHive(t *testing.T) {
 		predicate.C("A", "a", predicate.EQ, "B", "a"),
 	})
 	params := cost.FromConfig(testConfig())
-	hive, err := Run(Hive(), testConfig(), params, q, db, 0)
+	hive, err := Run(context.Background(), Hive(), testConfig(), params, q, db, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pig, err := Run(Pig(), testConfig(), params, q, db, 0)
+	pig, err := Run(context.Background(), Pig(), testConfig(), params, q, db, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +241,7 @@ func TestOneBucketThetaMatchesNaive(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := mr.Run(testConfig(), nil, job)
+		res, err := mr.Run(context.Background(), testConfig(), nil, job)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -293,7 +294,7 @@ func TestAfratiUllmanMatchesNaive(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := mr.Run(testConfig(), nil, job)
+		res, err := mr.Run(context.Background(), testConfig(), nil, job)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -13,6 +13,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -104,7 +105,7 @@ type Result struct {
 // request), the reduce phase runs in multiple waves — the k_P
 // obliviousness the paper's scheduler exploits. Pass 0 to default to
 // cfg.ReduceSlots.
-func Run(st Strategy, cfg mr.Config, params cost.Params, q *query.Query, db *core.DB, requestedReducers int) (*Result, error) {
+func Run(ctx context.Context, st Strategy, cfg mr.Config, params cost.Params, q *query.Query, db *core.DB, requestedReducers int) (*Result, error) {
 	if st.MaterializeFactor <= 0 {
 		st.MaterializeFactor = 1
 	}
@@ -145,7 +146,7 @@ func Run(st Strategy, cfg mr.Config, params cost.Params, q *query.Query, db *cor
 		if err != nil {
 			return nil, err
 		}
-		run, err := mr.Run(cfg, timer, job)
+		run, err := mr.Run(ctx, cfg, timer, job)
 		if err != nil {
 			return nil, err
 		}

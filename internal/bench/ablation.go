@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -199,7 +200,7 @@ func (s *Suite) AblationSingleVsCascade() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		cascade, err := baselines.Run(baselines.Hive(), cfg, s.params(), q, db, 0)
+		cascade, err := baselines.Run(context.Background(), baselines.Hive(), cfg, s.params(), q, db, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -260,7 +261,7 @@ func (s *Suite) AblationKR() (*Table, error) {
 			if err != nil {
 				return 0, err
 			}
-			res, err := mr.Run(cfg, params.Timer(), job)
+			res, err := mr.Run(context.Background(), cfg, params.Timer(), job)
 			if err != nil {
 				return 0, err
 			}

@@ -9,6 +9,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -159,7 +160,7 @@ func (s *Suite) Fig6() (*Table, error) {
 	for _, gb := range volumes {
 		in := sampleJoinInput("sample", 2048, 512, gb)
 		for _, kr := range krs {
-			res, err := mr.Run(s.Cfg, timer, selfJoinJob(in, kr))
+			res, err := mr.Run(context.Background(), s.Cfg, timer, selfJoinJob(in, kr))
 			if err != nil {
 				return nil, err
 			}
@@ -257,7 +258,7 @@ func (s *Suite) Fig8() (*Table, error) {
 	for _, gb := range volumes {
 		in := sampleJoinInput("mob-self", 2048, 256, gb)
 		kr := 16
-		res, err := mr.Run(s.Cfg, timer, selfJoinJob(in, kr))
+		res, err := mr.Run(context.Background(), s.Cfg, timer, selfJoinJob(in, kr))
 		if err != nil {
 			return nil, err
 		}

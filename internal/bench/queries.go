@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/baselines"
@@ -116,7 +117,7 @@ func (s *Suite) comparisonRow(q *query.Query, db *core.DB, kp int) ([]float64, e
 	// available units kP are fewer — the k_P obliviousness the paper's
 	// Fig. 10/13 exposes.
 	for _, st := range []baselines.Strategy{baselines.YSmart(), baselines.Hive(), baselines.Pig()} {
-		bres, err := baselines.Run(st, cfg, params, q, db, s.Cfg.ReduceSlots)
+		bres, err := baselines.Run(context.Background(), st, cfg, params, q, db, s.Cfg.ReduceSlots)
 		if err != nil {
 			return nil, fmt.Errorf("%s on %s: %w", st.Name, q.Name, err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -191,7 +192,7 @@ func TestThetaJobMatchesNaive(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := mr.Run(testConfig(), nil, job)
+		res, err := mr.Run(context.Background(), testConfig(), nil, job)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -254,7 +255,7 @@ func TestThetaJobRandomQueries(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := mr.Run(testConfig(), nil, job)
+		res, err := mr.Run(context.Background(), testConfig(), nil, job)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -278,7 +279,7 @@ func TestThetaJobEmptyInput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := mr.Run(testConfig(), nil, job)
+	res, err := mr.Run(context.Background(), testConfig(), nil, job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +307,7 @@ func TestHashEquiJobMatchesNaive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := mr.Run(testConfig(), nil, job)
+	res, err := mr.Run(context.Background(), testConfig(), nil, job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -359,11 +360,11 @@ func TestMergeOutputs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1, err := mr.Run(testConfig(), nil, j1)
+	r1, err := mr.Run(context.Background(), testConfig(), nil, j1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := mr.Run(testConfig(), nil, j2)
+	r2, err := mr.Run(context.Background(), testConfig(), nil, j2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -424,7 +425,7 @@ func TestNaiveDuplicateTuples(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := mr.Run(testConfig(), nil, job)
+	res, err := mr.Run(context.Background(), testConfig(), nil, job)
 	if err != nil {
 		t.Fatal(err)
 	}

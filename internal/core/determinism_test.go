@@ -1,0 +1,177 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/mr"
+	"repro/internal/predicate"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// TestExecutionDeterminism asserts the engine's core invariant: for a
+// fixed job specification, Result.Output and the byte-level Metrics
+// are identical across worker counts — the parallel partitioned
+// shuffle must not let goroutine interleaving leak into results. Run
+// under -race this also exercises the engine's synchronisation.
+func TestExecutionDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	a := randRelation("A", 90, 25, rng)
+	b := randRelation("B", 70, 25, rng)
+	c := randRelation("C", 50, 25, rng)
+	db := newTestDB(t, a, b, c)
+	rel := func(name string) *relation.Relation {
+		r, err := db.Relation(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	cases := []struct {
+		name  string
+		build func() (*mr.Job, error)
+	}{
+		{"theta", func() (*mr.Job, error) {
+			job, _, err := BuildThetaJob("theta", []*relation.Relation{rel("A"), rel("B")},
+				predicate.Conjunction{predicate.C("A", "a", predicate.LT, "B", "a")}, 6, 1<<12)
+			return job, err
+		}},
+		{"hash-equi", func() (*mr.Job, error) {
+			return BuildHashEquiJob("hashequi", rel("A"), rel("B"),
+				predicate.Conjunction{predicate.C("A", "a", predicate.EQ, "B", "a")}, 6)
+		}},
+		{"share-grid", func() (*mr.Job, error) {
+			return BuildShareGridJob("sharegrid", []*relation.Relation{rel("A"), rel("B"), rel("C")},
+				predicate.Conjunction{
+					predicate.C("A", "a", predicate.EQ, "B", "a"),
+					predicate.C("B", "b", predicate.EQ, "C", "b"),
+				}, 6, 1<<12)
+		}},
+	}
+	workerCounts := []int{1, 2, runtime.NumCPU()}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var ref *mr.Result
+			var refWorkers int
+			for _, w := range workerCounts {
+				job, err := tc.build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := testConfig()
+				cfg.MaxParallelWorkers = w
+				res, err := mr.Run(context.Background(), cfg, nil, job)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				if ref == nil {
+					ref, refWorkers = res, w
+					continue
+				}
+				if got, want := len(res.Output.Tuples), len(ref.Output.Tuples); got != want {
+					t.Fatalf("workers=%d vs %d: %d vs %d output tuples", w, refWorkers, got, want)
+				}
+				for i := range res.Output.Tuples {
+					if !reflect.DeepEqual(res.Output.Tuples[i], ref.Output.Tuples[i]) {
+						t.Fatalf("workers=%d vs %d: tuple %d differs: %v vs %v",
+							w, refWorkers, i, res.Output.Tuples[i], ref.Output.Tuples[i])
+					}
+				}
+				if res.Metrics.PairsEmitted != ref.Metrics.PairsEmitted {
+					t.Errorf("workers=%d: PairsEmitted %d != %d", w, res.Metrics.PairsEmitted, ref.Metrics.PairsEmitted)
+				}
+				if res.Metrics.ShuffleBytes != ref.Metrics.ShuffleBytes {
+					t.Errorf("workers=%d: ShuffleBytes %d != %d", w, res.Metrics.ShuffleBytes, ref.Metrics.ShuffleBytes)
+				}
+				if res.Metrics.MaxReducerInput != ref.Metrics.MaxReducerInput {
+					t.Errorf("workers=%d: MaxReducerInput %d != %d", w, res.Metrics.MaxReducerInput, ref.Metrics.MaxReducerInput)
+				}
+				if !reflect.DeepEqual(res.Metrics, ref.Metrics) {
+					t.Errorf("workers=%d: full metrics differ:\n%+v\n%+v", w, res.Metrics, ref.Metrics)
+				}
+			}
+		})
+	}
+}
+
+// TestExecuteConcurrentIndependentJobs asserts that Execute overlaps
+// independent planned jobs on the K_P units instead of running the
+// plan as a serial cascade, and that the concurrent execution still
+// matches the Naive reference result.
+func TestExecuteConcurrentIndependentJobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randRelation("A", 60, 18, rng)
+	b := randRelation("B", 50, 18, rng)
+	c := randRelation("C", 40, 18, rng)
+	db := newTestDB(t, a, b, c)
+	q := query.MustNew("pair", []string{"A", "B", "C"}, []predicate.Condition{
+		predicate.C("A", "a", predicate.LT, "B", "a"),
+		predicate.C("B", "b", predicate.GE, "C", "b"),
+	})
+	pl := testPlanner(8)
+	plan := &Plan{
+		Query: q,
+		Jobs: []PlannedJob{
+			{Name: "pair-j1", Conds: predicate.Conjunction{q.Conditions[0]}, RelOrder: []string{"A", "B"},
+				Kind: KindHilbertTheta, Reducers: 3, Units: 4},
+			{Name: "pair-j2", Conds: predicate.Conjunction{q.Conditions[1]}, RelOrder: []string{"B", "C"},
+				Kind: KindHilbertTheta, Reducers: 3, Units: 4},
+		},
+	}
+	res, err := pl.Execute(plan, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxConcurrentJobs < 2 {
+		t.Errorf("independent 2-job plan ran serially: MaxConcurrentJobs = %d", res.MaxConcurrentJobs)
+	}
+	want, err := Naive(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, wantRS := resultSet(res.Output), resultSet(want)
+	if !wantRS.Equal(got) {
+		t.Errorf("concurrent result mismatch: %d vs %d rows", got.Len(), wantRS.Len())
+	}
+}
+
+// TestExecuteDependentJobsGate asserts that a job reading another
+// planned job's output is gated on its completion and consumes the
+// produced intermediate relation.
+func TestExecuteDependentJobsGate(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randRelation("A", 40, 12, rng)
+	b := randRelation("B", 30, 12, rng)
+	db := newTestDB(t, a, b)
+	q := query.MustNew("casc", []string{"A", "B"}, []predicate.Condition{
+		predicate.C("A", "a", predicate.LT, "B", "a"),
+	})
+	pl := testPlanner(8)
+	// Job 2 joins job 1's output back against B — a cascade whose
+	// second step can only run once the intermediate relation exists.
+	plan := &Plan{
+		Query: q,
+		Jobs: []PlannedJob{
+			{Name: "casc-j1", Conds: predicate.Conjunction{q.Conditions[0]}, RelOrder: []string{"A", "B"},
+				Kind: KindHilbertTheta, Reducers: 2, Units: 8},
+			{Name: "casc-j2", Conds: predicate.Conjunction{
+				predicate.C("casc-j1", "A.a", predicate.LE, "B", "b"),
+			}, RelOrder: []string{"casc-j1", "B"}, Kind: KindHilbertTheta, Reducers: 2, Units: 8},
+		},
+	}
+	res, err := pl.Execute(plan, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxConcurrentJobs != 1 {
+		t.Errorf("dependent jobs overlapped: MaxConcurrentJobs = %d", res.MaxConcurrentJobs)
+	}
+	if len(res.JobMetrics) != 2 {
+		t.Fatalf("expected 2 job metrics, got %d", len(res.JobMetrics))
+	}
+}

@@ -1,14 +1,327 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
+	"runtime"
 	"sort"
 
 	"repro/internal/mr"
 	"repro/internal/predicate"
 	"repro/internal/relation"
+	"repro/internal/schedule"
 )
+
+// ExecResult is the outcome of executing a plan.
+type ExecResult struct {
+	Output *relation.Relation
+	// Makespan is the measured evaluation time: the job set re-timed
+	// with simulated durations plus the merge chain (Fig. 4 layout).
+	Makespan   float64
+	JobMetrics map[string]mr.Metrics
+	MergeCount int
+	// ShuffleBytes totals network copy volume across jobs.
+	ShuffleBytes int64
+	// MaxConcurrentJobs is the high-water mark of planned jobs in
+	// flight at once: 1 when everything serialised, >= 2 when the
+	// placement overlapped independent jobs on the K_P units.
+	MaxConcurrentJobs int
+}
+
+// Execute runs the plan under a background context; see ExecuteContext.
+func (pl *Planner) Execute(plan *Plan, db *DB) (*ExecResult, error) {
+	return pl.ExecuteContext(context.Background(), plan, db)
+}
+
+// execSlot is one dispatchable planned job: its index in plan.Jobs,
+// its unit allotment on the K_P semaphore, and the names of the jobs
+// that must complete first (schedule dependencies plus any planned job
+// whose output this job reads).
+type execSlot struct {
+	idx   int
+	units int
+	deps  []string
+}
+
+// effectiveUnits is the job's unit allotment with the shared fallback:
+// Units when set, else Reducers, clamped to >= 1. Every execution-side
+// consumer (dispatch, config derivation, re-timing) must agree on it.
+func (pj *PlannedJob) effectiveUnits() int {
+	u := pj.Units
+	if u < 1 {
+		u = pj.Reducers
+	}
+	if u < 1 {
+		u = 1
+	}
+	return u
+}
+
+// ExecuteContext drives the planned jobs through the schedule
+// placement for real, concurrently. Placements are dispatched in
+// execution order; each job waits until its dependencies have
+// completed and its unit allotment fits in the free capacity of the
+// K_P-unit semaphore, then runs on its own goroutine with map/reduce
+// slot budgets (and a proportional share of the machine's real
+// worker goroutines) taken from its assigned units. The first job
+// error cancels the context and aborts the remaining jobs.
+//
+// Execution is deterministic for a fixed plan: job outputs and metrics
+// are collected by plan position, outputs merge in plan order, and
+// each mr.Run is itself deterministic — so the result relation and the
+// byte-level metrics are identical regardless of how the jobs
+// interleave on the wall clock.
+func (pl *Planner) ExecuteContext(ctx context.Context, plan *Plan, db *DB) (*ExecResult, error) {
+	if len(plan.Jobs) == 0 {
+		return nil, fmt.Errorf("core: empty plan")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	jobIdx := make(map[string]int, len(plan.Jobs))
+	for i, pj := range plan.Jobs {
+		jobIdx[pj.Name] = i
+	}
+	order, err := execOrder(plan, jobIdx)
+	if err != nil {
+		return nil, err
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type doneMsg struct {
+		idx   int
+		units int
+		res   *mr.Result
+		err   error
+	}
+	done := make(chan doneMsg)
+	results := make([]*mr.Result, len(plan.Jobs))
+	completed := make(map[string]bool, len(plan.Jobs))
+	started := make([]bool, len(plan.Jobs))
+	produced := make(map[string]*relation.Relation, len(plan.Jobs))
+	free := pl.KP
+	inflight, maxInflight, nDone := 0, 0, 0
+	var firstErr error
+
+	for nDone < len(order) {
+		if firstErr == nil {
+			// Start every dispatchable placement, front to back: deps
+			// satisfied and allotment within the free units. A job whose
+			// allotment exceeds K_P is clamped, so the cluster-wide
+			// semaphore can always eventually admit it.
+			for _, s := range order {
+				if started[s.idx] {
+					continue
+				}
+				units := minInt(s.units, pl.KP)
+				if units > free {
+					continue
+				}
+				ready := true
+				for _, d := range s.deps {
+					if !completed[d] {
+						ready = false
+						break
+					}
+				}
+				if !ready {
+					continue
+				}
+				pj := &plan.Jobs[s.idx]
+				job, cfg, err := pl.buildPlannedJob(pj, db, produced)
+				if err != nil {
+					firstErr = err
+					cancel()
+					break
+				}
+				started[s.idx] = true
+				free -= units
+				inflight++
+				if inflight > maxInflight {
+					maxInflight = inflight
+				}
+				go func(idx, units int, cfg mr.Config, job *mr.Job) {
+					res, err := mr.Run(ctx, cfg, pl.Params.Timer(), job)
+					done <- doneMsg{idx: idx, units: units, res: res, err: err}
+				}(s.idx, units, cfg, job)
+			}
+		}
+		if inflight == 0 {
+			if firstErr != nil {
+				return nil, firstErr
+			}
+			return nil, fmt.Errorf("core: plan %s stalled with %d/%d jobs done (dependency cycle?)",
+				plan.Query.Name, nDone, len(order))
+		}
+		msg := <-done
+		inflight--
+		free += msg.units
+		if msg.err != nil {
+			if firstErr == nil {
+				firstErr = msg.err
+				cancel()
+			}
+			continue
+		}
+		results[msg.idx] = msg.res
+		pj := &plan.Jobs[msg.idx]
+		completed[pj.Name] = true
+		produced[pj.Name] = msg.res.Output
+		nDone++
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// Assemble deterministically in plan order.
+	res := &ExecResult{
+		JobMetrics:        make(map[string]mr.Metrics, len(plan.Jobs)),
+		MaxConcurrentJobs: maxInflight,
+	}
+	outputs := make([]*relation.Relation, len(plan.Jobs))
+	outBytes := make([]int64, len(plan.Jobs))
+	tasks := make([]schedule.Task, 0, len(plan.Jobs))
+	depsOf := make(map[string][]string, len(order))
+	for _, s := range order {
+		depsOf[plan.Jobs[s.idx].Name] = s.deps
+	}
+	for i := range plan.Jobs {
+		pj := &plan.Jobs[i]
+		run := results[i]
+		res.JobMetrics[pj.Name] = run.Metrics
+		res.ShuffleBytes += run.Metrics.ShuffleBytes
+		outputs[i] = run.Output
+		outBytes[i] = run.Metrics.OutputBytes
+		// Measured duration at the allotted units, scaled for the
+		// re-scheduling pass.
+		units := pj.effectiveUnits()
+		dur := run.Metrics.Sim.Total
+		prof := make([]float64, pl.KP)
+		for k := 1; k <= pl.KP; k++ {
+			scale := 1.0
+			if k < units {
+				scale = float64(units) / float64(k)
+			}
+			prof[k-1] = dur * scale
+		}
+		tasks = append(tasks, schedule.Task{ID: pj.Name, Profile: prof, DependsOn: depsOf[pj.Name]})
+	}
+	sched, err := schedule.Schedule(tasks, pl.KP)
+	if err != nil {
+		return nil, err
+	}
+	final, mergeCount, err := MergeAll(plan.Query.Name, outputs)
+	if err != nil {
+		return nil, err
+	}
+	var mergeTime float64
+	for i := 1; i < len(outputs); i++ {
+		mergeTime += pl.Params.MergeCost(outBytes[i-1], outBytes[i])
+	}
+	res.Output = final
+	res.MergeCount = mergeCount
+	res.Makespan = sched.Makespan + mergeTime
+	return res, nil
+}
+
+// execOrder flattens the plan's schedule into dispatch order. Each
+// slot carries its unit allotment and dependency set: the schedule's
+// explicit DependsOn plus data dependencies inferred from a job whose
+// relation order names another planned job's output (cascades sharing
+// intermediate results). Plans without a schedule dispatch in plan
+// order with data dependencies only.
+func execOrder(plan *Plan, jobIdx map[string]int) ([]execSlot, error) {
+	slotFor := func(i int, schedDeps []string) execSlot {
+		pj := &plan.Jobs[i]
+		units := pj.effectiveUnits()
+		deps := append([]string(nil), schedDeps...)
+		seen := make(map[string]bool, len(deps))
+		for _, d := range deps {
+			seen[d] = true
+		}
+		for _, rel := range pj.RelOrder {
+			if j, ok := jobIdx[rel]; ok && j != i && !seen[rel] {
+				deps = append(deps, rel)
+				seen[rel] = true
+			}
+		}
+		return execSlot{idx: i, units: units, deps: deps}
+	}
+	if plan.Schedule == nil {
+		order := make([]execSlot, 0, len(plan.Jobs))
+		for i := range plan.Jobs {
+			order = append(order, slotFor(i, nil))
+		}
+		return order, nil
+	}
+	placements := plan.Schedule.ExecutionOrder()
+	if len(placements) != len(plan.Jobs) {
+		return nil, fmt.Errorf("core: schedule places %d tasks for %d planned jobs", len(placements), len(plan.Jobs))
+	}
+	order := make([]execSlot, 0, len(placements))
+	for _, p := range placements {
+		i, ok := jobIdx[p.TaskID]
+		if !ok {
+			return nil, fmt.Errorf("core: schedule places unknown job %q", p.TaskID)
+		}
+		order = append(order, slotFor(i, p.DependsOn))
+	}
+	return order, nil
+}
+
+// buildPlannedJob materialises one planned job against the database,
+// resolving inputs against already-produced intermediate outputs
+// first, and derives the job's engine configuration: map/reduce slot
+// budgets capped at the unit allotment and a proportional share of the
+// real worker goroutines (units/K_P of the machine).
+func (pl *Planner) buildPlannedJob(pj *PlannedJob, db *DB, produced map[string]*relation.Relation) (*mr.Job, mr.Config, error) {
+	rels := make([]*relation.Relation, len(pj.RelOrder))
+	for i, name := range pj.RelOrder {
+		if r, ok := produced[name]; ok {
+			rels[i] = r
+			continue
+		}
+		r, err := db.Relation(name)
+		if err != nil {
+			return nil, mr.Config{}, err
+		}
+		rels[i] = r
+	}
+	var job *mr.Job
+	var err error
+	switch pj.Kind {
+	case KindHashEqui:
+		job, err = BuildHashEquiJob(pj.Name, rels[0], rels[1], pj.Conds, pj.Reducers)
+	case KindShareGrid:
+		job, err = BuildShareGridJob(pj.Name, rels, pj.Conds, pj.Reducers, pl.Opts.MaxCells)
+	default:
+		job, _, err = BuildThetaJob(pj.Name, rels, pj.Conds, pj.Reducers, pl.Opts.MaxCells)
+	}
+	if err != nil {
+		return nil, mr.Config{}, err
+	}
+	cfg := pl.Config
+	units := pj.effectiveUnits()
+	cfg.MapSlots = minInt(cfg.MapSlots, units)
+	cfg.ReduceSlots = minInt(cfg.ReduceSlots, units)
+	// Real goroutine budget: the job's share of the machine, scaled by
+	// its share of the K_P units, so concurrent jobs split the CPUs the
+	// way the schedule splits the cluster.
+	base := cfg.MaxParallelWorkers
+	if base <= 0 {
+		base = runtime.NumCPU()
+	}
+	if pl.KP > 0 && units < pl.KP {
+		if w := base * units / pl.KP; w < base {
+			base = maxIntc(1, w)
+		}
+	}
+	cfg.MaxParallelWorkers = base
+	return job, cfg, nil
+}
 
 // JobKind distinguishes the physical operators a planned job can use.
 type JobKind uint8

@@ -6,6 +6,7 @@ package core
 // covered in internal/joinpath.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -94,7 +95,7 @@ func TestFig4MergePlan(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := mr.Run(cfg, nil, job)
+		res, err := mr.Run(context.Background(), cfg, nil, job)
 		if err != nil {
 			t.Fatal(err)
 		}

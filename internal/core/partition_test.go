@@ -201,7 +201,7 @@ func TestCellCoordRange(t *testing.T) {
 }
 
 func TestGlobalIDProperties(t *testing.T) {
-	tup := relation.Tuple{relation.Int(42), relation.String_("x")}
+	tup := relation.Tuple{relation.Int(42), relation.Str("x")}
 	// Deterministic.
 	a := GlobalID(tup, 1000, 7)
 	b := GlobalID(tup, 1000, 7)

@@ -74,6 +74,12 @@ type Plan struct {
 	MergeEstimate     float64 // estimated total merge time appended after jobs
 	CandidateEdges    int     // |G'_JP.E|
 	PrunedCandidates  int
+
+	// Schedule is the executable K_P placement of the jobs: dispatch
+	// order, unit assignments, waves and dependencies. Execute drives
+	// it for real; a nil schedule (hand-built plans) falls back to
+	// plan-order dispatch.
+	Schedule *schedule.Plan
 }
 
 // String renders a compact plan description.
@@ -387,97 +393,8 @@ func (pl *Planner) scheduleCover(q *query.Query, jp *joinpath.Graph, cands map[s
 		Jobs:              jobs,
 		EstimatedMakespan: sched.Makespan + mergeEst,
 		MergeEstimate:     mergeEst,
+		Schedule:          sched,
 	}, nil
-}
-
-// ExecResult is the outcome of executing a plan.
-type ExecResult struct {
-	Output *relation.Relation
-	// Makespan is the measured evaluation time: the job set re-timed
-	// with simulated durations plus the merge chain (Fig. 4 layout).
-	Makespan   float64
-	JobMetrics map[string]mr.Metrics
-	MergeCount int
-	// ShuffleBytes totals network copy volume across jobs.
-	ShuffleBytes int64
-}
-
-// Execute runs every planned job on the simulator, merges outputs on
-// shared row IDs, and reports the measured makespan.
-func (pl *Planner) Execute(plan *Plan, db *DB) (*ExecResult, error) {
-	if len(plan.Jobs) == 0 {
-		return nil, fmt.Errorf("core: empty plan")
-	}
-	res := &ExecResult{JobMetrics: make(map[string]mr.Metrics, len(plan.Jobs))}
-	var outputs []*relation.Relation
-	var tasks []schedule.Task
-	var outBytes []int64
-	for _, pj := range plan.Jobs {
-		rels := make([]*relation.Relation, len(pj.RelOrder))
-		for i, name := range pj.RelOrder {
-			r, err := db.Relation(name)
-			if err != nil {
-				return nil, err
-			}
-			rels[i] = r
-		}
-		var job *mr.Job
-		var err error
-		switch pj.Kind {
-		case KindHashEqui:
-			job, err = BuildHashEquiJob(pj.Name, rels[0], rels[1], pj.Conds, pj.Reducers)
-		case KindShareGrid:
-			job, err = BuildShareGridJob(pj.Name, rels, pj.Conds, pj.Reducers, pl.Opts.MaxCells)
-		default:
-			job, _, err = BuildThetaJob(pj.Name, rels, pj.Conds, pj.Reducers, pl.Opts.MaxCells)
-		}
-		if err != nil {
-			return nil, err
-		}
-		cfg := pl.Config
-		units := pj.Units
-		if units < 1 {
-			units = pj.Reducers
-		}
-		cfg.MapSlots = minInt(cfg.MapSlots, maxIntc(1, units))
-		cfg.ReduceSlots = minInt(cfg.ReduceSlots, maxIntc(1, units))
-		run, err := mr.Run(cfg, pl.Params.Timer(), job)
-		if err != nil {
-			return nil, err
-		}
-		res.JobMetrics[pj.Name] = run.Metrics
-		res.ShuffleBytes += run.Metrics.ShuffleBytes
-		outputs = append(outputs, run.Output)
-		outBytes = append(outBytes, run.Metrics.OutputBytes)
-		// Measured duration at the allotted units, scaled for the
-		// re-scheduling pass.
-		dur := run.Metrics.Sim.Total
-		prof := make([]float64, pl.KP)
-		for k := 1; k <= pl.KP; k++ {
-			scale := 1.0
-			if k < units {
-				scale = float64(units) / float64(k)
-			}
-			prof[k-1] = dur * scale
-		}
-		tasks = append(tasks, schedule.Task{ID: pj.Name, Profile: prof})
-	}
-	sched, err := schedule.Schedule(tasks, pl.KP)
-	if err != nil {
-		return nil, err
-	}
-	final, mergeCount, err := MergeAll(plan.Query.Name, outputs)
-	if err != nil {
-		return nil, err
-	}
-	var mergeTime float64
-	for i := 1; i < len(outputs); i++ {
-		mergeTime += pl.Params.MergeCost(outBytes[i-1], outBytes[i])
-	}
-	res.Output = final
-	res.MergeCount = mergeCount
-	res.Makespan = sched.Makespan + mergeTime
-	return res, nil
 }
 
 func maxIntc(a, b int) int {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -72,7 +73,7 @@ func TestShareGridNoReplicationWhenFullyLinked(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := mr.Run(testConfig(), nil, job)
+	res, err := mr.Run(context.Background(), testConfig(), nil, job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestShareGridTwoDimensions(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := mr.Run(testConfig(), nil, job)
+		res, err := mr.Run(context.Background(), testConfig(), nil, job)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -164,7 +165,7 @@ func TestShareGridRandomQueries(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := mr.Run(testConfig(), nil, job)
+		res, err := mr.Run(context.Background(), testConfig(), nil, job)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -222,7 +223,7 @@ func TestShareGridEmptyInput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := mr.Run(testConfig(), nil, job)
+	res, err := mr.Run(context.Background(), testConfig(), nil, job)
 	if err != nil {
 		t.Fatal(err)
 	}

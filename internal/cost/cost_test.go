@@ -1,6 +1,7 @@
 package cost
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -176,7 +177,7 @@ func TestModelTracksSimulator(t *testing.T) {
 		OutputName:   "out",
 		OutputSchema: in.Schema,
 	}
-	res, err := mr.Run(cfg, p.Timer(), job)
+	res, err := mr.Run(context.Background(), cfg, p.Timer(), job)
 	if err != nil {
 		t.Fatal(err)
 	}

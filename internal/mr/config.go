@@ -20,19 +20,25 @@ package mr
 // cluster geometry and device speeds of §6.1.
 type Config struct {
 	// Table 1 parameters (the "Set" column).
-	BlockSizeMB        int     // fs.blocksize
-	IoSortMB           int     // io.sort.mb
-	IoSortRecordPct    float64 // io.sort.record.percentage
-	IoSortSpillPct     float64 // io.sort.spill.percentage
-	IoSortFactor       int     // io.sort.factor
-	DFSReplication     int     // dfs.replication
-	MapSlots           int     // concurrent map tasks cluster-wide (m')
-	ReduceSlots        int     // concurrent reduce tasks (bounded by k_P)
-	DiskReadMBps       float64 // measured sequential read rate
-	DiskWriteMBps      float64 // measured write rate
-	NetworkMBps        float64 // effective per-stream network rate
-	TuplesPerMapTask   int     // simulator granularity of an input split
-	MaxParallelWorkers int     // real goroutines used to execute tasks (0 = GOMAXPROCS)
+	BlockSizeMB      int     // fs.blocksize
+	IoSortMB         int     // io.sort.mb
+	IoSortRecordPct  float64 // io.sort.record.percentage
+	IoSortSpillPct   float64 // io.sort.spill.percentage
+	IoSortFactor     int     // io.sort.factor
+	DFSReplication   int     // dfs.replication
+	MapSlots         int     // concurrent map tasks cluster-wide (m')
+	ReduceSlots      int     // concurrent reduce tasks (bounded by k_P)
+	DiskReadMBps     float64 // measured sequential read rate
+	DiskWriteMBps    float64 // measured write rate
+	NetworkMBps      float64 // effective per-stream network rate
+	TuplesPerMapTask int     // simulator granularity of an input split
+	// MaxParallelWorkers bounds the real goroutines executing map
+	// tasks and reduce partitions (0 = NumCPU). The concurrent plan
+	// executor sets it per job to the job's share of the machine, so
+	// overlapping jobs split the CPUs the way the schedule splits the
+	// cluster's K_P units. Results never depend on it — only wall
+	// clock does.
+	MaxParallelWorkers int
 
 	// OutputCapRatio bounds a job's modeled output volume at this
 	// multiple of its modeled input (0 disables). The nominal-volume

@@ -1,10 +1,12 @@
 package mr
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/relation"
 )
@@ -61,9 +63,19 @@ type mapTask struct {
 }
 
 // Run executes the job and returns its output and metrics. Execution
-// is deterministic for a fixed job specification: task outputs are
-// merged in task order and reduce keys are processed in sorted order.
-func Run(cfg Config, timer Timer, job *Job) (*Result, error) {
+// is deterministic for a fixed job specification regardless of worker
+// count or goroutine interleaving: map tasks partition their output
+// into per-reducer buckets as they emit, each reducer merges its
+// buckets in task order, and reduce keys are processed in sorted order
+// (values within a key keep task emission order).
+//
+// Cancelling ctx aborts the run between tasks; the first error raised
+// by any worker (or the context's error) is returned and stops the
+// remaining workers.
+func Run(ctx context.Context, cfg Config, timer Timer, job *Job) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -124,110 +136,106 @@ func Run(cfg Config, timer Timer, job *Job) (*Result, error) {
 	}
 
 	// ---- Map phase (real execution) ------------------------------------
+	// Each map task partitions its output locally into per-reducer
+	// buckets as it emits — the local "spill partitioning" a Hadoop
+	// mapper performs — so the shuffle never funnels all pairs through
+	// one goroutine.
 	workers := cfg.MaxParallelWorkers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	if workers > len(tasks) {
-		workers = len(tasks)
-	}
-	taskPairs := make([][]pair, len(tasks))
-	taskOutBytes := make([]int64, len(tasks)) // modeled map output per task
-	var wg sync.WaitGroup
-	taskCh := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for ti := range taskCh {
-				task := &tasks[ti]
-				mapFn := job.Inputs[task.inputIdx].Map
-				var local []pair
-				var outBytes int64
-				emit := func(key uint64, tag uint8, value relation.Tuple) {
-					local = append(local, pair{key: key, tag: tag, tuple: value})
-					// 8 bytes of key framing per shuffled pair.
-					outBytes += int64(float64(value.EncodedSize()+8) * task.multiplier)
-				}
-				for _, t := range task.tuples {
-					mapFn(t, emit)
-				}
-				taskPairs[ti] = local
-				taskOutBytes[ti] = outBytes
-			}
-		}()
-	}
-	for ti := range tasks {
-		taskCh <- ti
-	}
-	close(taskCh)
-	wg.Wait()
-
-	// ---- Shuffle --------------------------------------------------------
 	partition := job.Partition
 	if partition == nil {
 		partition = func(key uint64, n int) int { return int(key % uint64(n)) }
 	}
 	nRed := job.NumReducers
-	type group map[uint64][]Tagged
-	groups := make([]group, nRed)
-	for r := range groups {
-		groups[r] = make(group)
-	}
-	reducerBytes := make([]int64, nRed)
-	var pairsEmitted, shuffleBytes int64
-	for ti := range tasks {
-		mult := tasks[ti].multiplier
-		for _, p := range taskPairs[ti] {
-			r := partition(p.key, nRed)
+	taskBuckets := make([][][]pair, len(tasks)) // [task][reducer] bucket
+	taskOutBytes := make([]int64, len(tasks))   // modeled map output per task
+	err := forEach(ctx, workers, len(tasks), func(ti int) error {
+		task := &tasks[ti]
+		mapFn := job.Inputs[task.inputIdx].Map
+		buckets := make([][]pair, nRed)
+		var outBytes int64
+		var emitErr error
+		emit := func(key uint64, tag uint8, value relation.Tuple) {
+			r := partition(key, nRed)
 			if r < 0 || r >= nRed {
-				return nil, fmt.Errorf("mr: job %s: partition returned %d for %d reducers", job.Name, r, nRed)
+				if emitErr == nil {
+					emitErr = fmt.Errorf("mr: job %s: partition returned %d for %d reducers", job.Name, r, nRed)
+				}
+				return
 			}
-			groups[r][p.key] = append(groups[r][p.key], Tagged{Tag: p.tag, Tuple: p.tuple})
-			b := int64(float64(p.tuple.EncodedSize()+8) * mult)
-			reducerBytes[r] += b
-			shuffleBytes += b
-			pairsEmitted++
+			buckets[r] = append(buckets[r], pair{key: key, tag: tag, tuple: value})
+			// 8 bytes of key framing per shuffled pair.
+			outBytes += int64(float64(value.EncodedSize()+8) * task.multiplier)
 		}
-		taskPairs[ti] = nil // release as we go
+		for _, t := range task.tuples {
+			mapFn(t, emit)
+			if emitErr != nil {
+				return emitErr
+			}
+		}
+		taskBuckets[ti] = buckets
+		taskOutBytes[ti] = outBytes
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
-	// ---- Reduce phase (real execution) ----------------------------------
+	// ---- Shuffle + reduce (parallel per-reducer merge) -----------------
+	// Each reducer independently merges its buckets in task order (the
+	// determinism anchor), sorts the merged run by key with a stable
+	// sort — preserving task emission order within a key — and streams
+	// the resulting key-runs through the reduce function. Reducers
+	// proceed concurrently; no global materialized map[key][]Tagged.
+	reducerBytes := make([]int64, nRed)
+	reducerPairs := make([]int64, nRed)
 	outs := make([][]relation.Tuple, nRed)
 	combs := make([]int64, nRed)
-	redCh := make(chan int)
-	var rwg sync.WaitGroup
-	rWorkers := workers
-	if rWorkers > nRed {
-		rWorkers = nRed
-	}
-	if rWorkers < 1 {
-		rWorkers = 1
-	}
-	for w := 0; w < rWorkers; w++ {
-		rwg.Add(1)
-		go func() {
-			defer rwg.Done()
-			for r := range redCh {
-				keys := make([]uint64, 0, len(groups[r]))
-				for k := range groups[r] {
-					keys = append(keys, k)
-				}
-				sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-				ctx := &ReduceContext{}
-				for _, k := range keys {
-					job.Reduce(k, groups[r][k], ctx)
-				}
-				outs[r] = ctx.out
-				combs[r] = ctx.combinations
+	err = forEach(ctx, workers, nRed, func(r int) error {
+		var n int
+		for ti := range taskBuckets {
+			n += len(taskBuckets[ti][r])
+		}
+		run := make([]pair, 0, n)
+		var bytes int64
+		for ti := range taskBuckets {
+			mult := tasks[ti].multiplier
+			for _, p := range taskBuckets[ti][r] {
+				run = append(run, p)
+				bytes += int64(float64(p.tuple.EncodedSize()+8) * mult)
 			}
-		}()
+			taskBuckets[ti][r] = nil // release as we go
+		}
+		reducerBytes[r] = bytes
+		reducerPairs[r] = int64(n)
+		sort.SliceStable(run, func(i, j int) bool { return run[i].key < run[j].key })
+		rctx := &ReduceContext{}
+		for lo := 0; lo < len(run); {
+			hi := lo + 1
+			for hi < len(run) && run[hi].key == run[lo].key {
+				hi++
+			}
+			vals := make([]Tagged, hi-lo)
+			for i := lo; i < hi; i++ {
+				vals[i-lo] = Tagged{Tag: run[i].tag, Tuple: run[i].tuple}
+			}
+			job.Reduce(run[lo].key, vals, rctx)
+			lo = hi
+		}
+		outs[r] = rctx.out
+		combs[r] = rctx.combinations
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	var pairsEmitted, shuffleBytes int64
 	for r := 0; r < nRed; r++ {
-		redCh <- r
+		pairsEmitted += reducerPairs[r]
+		shuffleBytes += reducerBytes[r]
 	}
-	close(redCh)
-	rwg.Wait()
 
 	outMult := job.OutputMultiplier
 	if outMult <= 0 {
@@ -378,6 +386,50 @@ func simulate(mapSlots, reduceSlots int, mapDur, copyDur []float64, mapFail []in
 		}
 	}
 	return SimTime{MapDone: mapDone, ShuffleDone: shuffleDone, Total: total}
+}
+
+// forEach runs fn(i) for i in [0, n) on up to `workers` goroutines,
+// stopping early on context cancellation or the first error, which is
+// propagated to the caller (worker errors take precedence over the
+// context's own error).
+func forEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n == 0 {
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var firstErr error
+	var once sync.Once
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				if err := fn(i); err != nil {
+					once.Do(func() { firstErr = err })
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return context.Cause(ctx)
 }
 
 func argminFloat(xs []float64) int {

@@ -1,6 +1,7 @@
 package mr
 
 import (
+	"context"
 	"hash/fnv"
 	"testing"
 
@@ -49,7 +50,7 @@ func countJob(in *relation.Relation, reducers int) *Job {
 
 func TestRunCountJob(t *testing.T) {
 	in := intsRelation("in", 1, 2, 2, 3, 3, 3, 7, 7, 7, 7)
-	res, err := Run(smallConfig(), nil, countJob(in, 3))
+	res, err := Run(context.Background(), smallConfig(), nil, countJob(in, 3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestRunDeterministic(t *testing.T) {
 	}
 	var first *Result
 	for trial := 0; trial < 3; trial++ {
-		res, err := Run(smallConfig(), nil, countJob(in, 5))
+		res, err := Run(context.Background(), smallConfig(), nil, countJob(in, 5))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -143,7 +144,7 @@ func TestRunEquiJoin(t *testing.T) {
 		OutputName:   "joined",
 		OutputSchema: outSchema,
 	}
-	res, err := Run(smallConfig(), nil, job)
+	res, err := Run(context.Background(), smallConfig(), nil, job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,38 +162,38 @@ func TestRunValidation(t *testing.T) {
 	good := countJob(in, 2)
 	bad := *good
 	bad.Name = ""
-	if _, err := Run(smallConfig(), nil, &bad); err == nil {
+	if _, err := Run(context.Background(), smallConfig(), nil, &bad); err == nil {
 		t.Error("empty name accepted")
 	}
 	bad = *good
 	bad.Inputs = nil
-	if _, err := Run(smallConfig(), nil, &bad); err == nil {
+	if _, err := Run(context.Background(), smallConfig(), nil, &bad); err == nil {
 		t.Error("no inputs accepted")
 	}
 	bad = *good
 	bad.NumReducers = 0
-	if _, err := Run(smallConfig(), nil, &bad); err == nil {
+	if _, err := Run(context.Background(), smallConfig(), nil, &bad); err == nil {
 		t.Error("0 reducers accepted")
 	}
 	bad = *good
 	bad.Reduce = nil
-	if _, err := Run(smallConfig(), nil, &bad); err == nil {
+	if _, err := Run(context.Background(), smallConfig(), nil, &bad); err == nil {
 		t.Error("nil reduce accepted")
 	}
 	bad = *good
 	bad.OutputSchema = nil
-	if _, err := Run(smallConfig(), nil, &bad); err == nil {
+	if _, err := Run(context.Background(), smallConfig(), nil, &bad); err == nil {
 		t.Error("nil schema accepted")
 	}
 	cfg := smallConfig()
 	cfg.MapSlots = 0
-	if _, err := Run(cfg, nil, good); err == nil {
+	if _, err := Run(context.Background(), cfg, nil, good); err == nil {
 		t.Error("bad config accepted")
 	}
 }
 
 func TestRunEmptyInput(t *testing.T) {
-	res, err := Run(smallConfig(), nil, countJob(intsRelation("empty"), 2))
+	res, err := Run(context.Background(), smallConfig(), nil, countJob(intsRelation("empty"), 2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +215,7 @@ func TestBadPartitionRejected(t *testing.T) {
 	in := intsRelation("in", 1, 2, 3)
 	job := countJob(in, 2)
 	job.Partition = func(key uint64, n int) int { return 99 }
-	if _, err := Run(smallConfig(), nil, job); err == nil {
+	if _, err := Run(context.Background(), smallConfig(), nil, job); err == nil {
 		t.Error("out-of-range partition accepted")
 	}
 }
@@ -225,20 +226,20 @@ func TestArityMismatchRejected(t *testing.T) {
 	job.Reduce = func(key uint64, values []Tagged, ctx *ReduceContext) {
 		ctx.Emit(relation.Tuple{relation.Int(1)}) // schema wants 2 columns
 	}
-	if _, err := Run(smallConfig(), nil, job); err == nil {
+	if _, err := Run(context.Background(), smallConfig(), nil, job); err == nil {
 		t.Error("arity mismatch accepted")
 	}
 }
 
 func TestVolumeMultiplierScalesBytes(t *testing.T) {
 	in := intsRelation("in", 1, 2, 3, 4)
-	base, err := Run(smallConfig(), nil, countJob(in, 2))
+	base, err := Run(context.Background(), smallConfig(), nil, countJob(in, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
 	in2 := in.Clone()
 	in2.VolumeMultiplier = 10
-	scaled, err := Run(smallConfig(), nil, countJob(in2, 2))
+	scaled, err := Run(context.Background(), smallConfig(), nil, countJob(in2, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,13 +263,13 @@ func TestFaultInjectionMapRetry(t *testing.T) {
 		in.MustAppend(relation.Tuple{relation.Int(i)})
 	}
 	job := countJob(in, 2)
-	clean, err := Run(smallConfig(), nil, job)
+	clean, err := Run(context.Background(), smallConfig(), nil, job)
 	if err != nil {
 		t.Fatal(err)
 	}
 	job.FailMapTasks = map[int]int{0: 2}
 	job.FailReduceTasks = map[int]int{1: 1}
-	faulty, err := Run(smallConfig(), nil, job)
+	faulty, err := Run(context.Background(), smallConfig(), nil, job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -324,7 +325,7 @@ func TestStragglerReducerDominates(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		in.MustAppend(relation.Tuple{relation.Int(int64(100 + i))})
 	}
-	res, err := Run(smallConfig(), nil, countJob(in, 4))
+	res, err := Run(context.Background(), smallConfig(), nil, countJob(in, 4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -394,7 +395,7 @@ func TestStringKeysViaHash(t *testing.T) {
 	in := relation.New("strs", sa)
 	words := []string{"ape", "bee", "cat", "bee", "ape", "ape"}
 	for _, w := range words {
-		in.MustAppend(relation.Tuple{relation.String_(w)})
+		in.MustAppend(relation.Tuple{relation.Str(w)})
 	}
 	outSchema := relation.MustSchema(
 		relation.Column{Name: "s", Kind: relation.KindString},
@@ -410,14 +411,14 @@ func TestStringKeysViaHash(t *testing.T) {
 				byVal[v.Tuple[0].Str()]++
 			}
 			for s, n := range byVal {
-				ctx.Emit(relation.Tuple{relation.String_(s), relation.Int(n)})
+				ctx.Emit(relation.Tuple{relation.Str(s), relation.Int(n)})
 			}
 		},
 		NumReducers:  2,
 		OutputName:   "out",
 		OutputSchema: outSchema,
 	}
-	res, err := Run(smallConfig(), nil, job)
+	res, err := Run(context.Background(), smallConfig(), nil, job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -440,7 +441,7 @@ func TestMapTasksFollowModeledBlocks(t *testing.T) {
 		in.MustAppend(relation.Tuple{relation.Int(i)})
 	}
 	in.VolumeMultiplier = 10e9 / float64(in.EncodedSize()) // model 10 GB
-	res, err := Run(cfg, nil, countJob(in, 4))
+	res, err := Run(context.Background(), cfg, nil, countJob(in, 4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -452,7 +453,7 @@ func TestMapTasksFollowModeledBlocks(t *testing.T) {
 	// Never more tasks than tuples.
 	in2 := intsRelation("tiny", 1, 2, 3)
 	in2.VolumeMultiplier = 1e12
-	res2, err := Run(cfg, nil, countJob(in2, 2))
+	res2, err := Run(context.Background(), cfg, nil, countJob(in2, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -486,7 +487,7 @@ func TestOutputCapRatio(t *testing.T) {
 		OutputName:   "out",
 		OutputSchema: relation.MustSchema(relation.Column{Name: "x", Kind: relation.KindInt}),
 	}
-	res, err := Run(cfg, nil, job)
+	res, err := Run(context.Background(), cfg, nil, job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -499,7 +500,7 @@ func TestOutputCapRatio(t *testing.T) {
 	}
 	// Disabled cap: output bytes exceed input.
 	cfg.OutputCapRatio = 0
-	res2, err := Run(cfg, nil, job)
+	res2, err := Run(context.Background(), cfg, nil, job)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -83,7 +83,7 @@ func twoRelations(t *testing.T) (*relation.Relation, *relation.Relation) {
 	a := relation.New("A", sa)
 	b := relation.New("B", sb)
 	for i := 0; i < 20; i++ {
-		a.MustAppend(relation.Tuple{relation.Int(int64(i)), relation.String_("t")})
+		a.MustAppend(relation.Tuple{relation.Int(int64(i)), relation.Str("t")})
 		b.MustAppend(relation.Tuple{relation.Int(int64(i * 2))})
 	}
 	return a, b
@@ -96,10 +96,10 @@ func TestConditionBoundEval(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !eval(relation.Tuple{relation.Int(1), relation.String_("")}, relation.Tuple{relation.Int(5)}) {
+	if !eval(relation.Tuple{relation.Int(1), relation.Str("")}, relation.Tuple{relation.Int(5)}) {
 		t.Error("1 < 5 evaluated false")
 	}
-	if eval(relation.Tuple{relation.Int(5), relation.String_("")}, relation.Tuple{relation.Int(5)}) {
+	if eval(relation.Tuple{relation.Int(5), relation.Str("")}, relation.Tuple{relation.Int(5)}) {
 		t.Error("5 < 5 evaluated true")
 	}
 }
@@ -112,10 +112,10 @@ func TestConditionOffsets(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !eval(relation.Tuple{relation.Int(3), relation.String_("")}, relation.Tuple{relation.Int(5)}) {
+	if !eval(relation.Tuple{relation.Int(3), relation.Str("")}, relation.Tuple{relation.Int(5)}) {
 		t.Error("3+3 > 5 evaluated false")
 	}
-	if eval(relation.Tuple{relation.Int(2), relation.String_("")}, relation.Tuple{relation.Int(5)}) {
+	if eval(relation.Tuple{relation.Int(2), relation.Str("")}, relation.Tuple{relation.Int(5)}) {
 		t.Error("2+3 > 5 evaluated true")
 	}
 }
@@ -145,7 +145,7 @@ func TestConditionReversedEquivalent(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i := 0; i < 200; i++ {
-			at := relation.Tuple{relation.Int(int64(rng.Intn(40) - 20)), relation.String_("")}
+			at := relation.Tuple{relation.Int(int64(rng.Intn(40) - 20)), relation.Str("")}
 			bt := relation.Tuple{relation.Int(int64(rng.Intn(40) - 20))}
 			if fwd(at, bt) != rev(bt, at) {
 				t.Fatalf("reversed condition differs for op %v: %v vs %v", op, at, bt)

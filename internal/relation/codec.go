@@ -263,7 +263,7 @@ func readValue(br *bufio.Reader, scratch []byte) (Value, error) {
 		if _, err := io.ReadFull(br, buf); err != nil {
 			return Null(), err
 		}
-		return String_(string(buf)), nil
+		return Str(string(buf)), nil
 	default:
 		return Null(), fmt.Errorf("relation: read value: unknown kind byte %d", kb)
 	}

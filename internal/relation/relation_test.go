@@ -67,7 +67,7 @@ func makeRel(t *testing.T, n int) *Relation {
 	t.Helper()
 	r := New("test", testSchema(t))
 	for i := 0; i < n; i++ {
-		r.MustAppend(Tuple{Int(int64(i)), String_("n" + string(rune('a'+i%26))), Float(float64(i) / 2)})
+		r.MustAppend(Tuple{Int(int64(i)), Str("n" + string(rune('a'+i%26))), Float(float64(i) / 2)})
 	}
 	return r
 }
@@ -180,8 +180,8 @@ func TestModeledSize(t *testing.T) {
 
 func TestResultSetEqualDiff(t *testing.T) {
 	a, b := NewResultSet(), NewResultSet()
-	t1 := Tuple{Int(1), String_("x")}
-	t2 := Tuple{Int(2), String_("y")}
+	t1 := Tuple{Int(1), Str("x")}
+	t2 := Tuple{Int(2), Str("y")}
 	a.Add(t1)
 	a.Add(t1)
 	a.Add(t2)
@@ -243,7 +243,7 @@ func TestCSVErrors(t *testing.T) {
 
 func TestBinaryRoundTrip(t *testing.T) {
 	r := makeRel(t, 40)
-	r.MustAppend(Tuple{Null(), String_(""), Float(-0.5)})
+	r.MustAppend(Tuple{Null(), Str(""), Float(-0.5)})
 	var buf bytes.Buffer
 	if err := WriteBinary(&buf, r); err != nil {
 		t.Fatal(err)
@@ -284,7 +284,7 @@ func TestBinaryQuickProperty(t *testing.T) {
 			n = len(strs)
 		}
 		for i := 0; i < n; i++ {
-			r.MustAppend(Tuple{Int(vals[i]), String_(strs[i])})
+			r.MustAppend(Tuple{Int(vals[i]), Str(strs[i])})
 		}
 		var buf bytes.Buffer
 		if err := WriteBinary(&buf, r); err != nil {

@@ -85,9 +85,9 @@ func Int(v int64) Value { return Value{kind: KindInt, i: v} }
 // Float returns a float value.
 func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
 
-// String_ returns a string value. The trailing underscore avoids a
-// clash with the fmt.Stringer method on Value.
-func String_(v string) Value { return Value{kind: KindString, s: v} }
+// Str returns a string value. (The name avoids a clash with the
+// fmt.Stringer method on Value; the accessor counterpart is Value.Str.)
+func Str(v string) Value { return Value{kind: KindString, s: v} }
 
 // Time returns a time value with second precision.
 func Time(t time.Time) Value { return Value{kind: KindTime, i: t.Unix()} }
@@ -267,7 +267,7 @@ func ParseValue(kind Kind, text string) (Value, error) {
 		}
 		return Float(f), nil
 	case KindString:
-		return String_(text), nil
+		return Str(text), nil
 	case KindTime:
 		n, err := strconv.ParseInt(text, 10, 64)
 		if err != nil {

@@ -15,7 +15,7 @@ func TestValueKinds(t *testing.T) {
 		{Null(), KindNull},
 		{Int(42), KindInt},
 		{Float(3.5), KindFloat},
-		{String_("x"), KindString},
+		{Str("x"), KindString},
 		{TimeUnix(100), KindTime},
 	}
 	for _, c := range cases {
@@ -41,7 +41,7 @@ func TestValueAccessors(t *testing.T) {
 	if got := Int(7).Float64(); got != 7.0 {
 		t.Errorf("Int(7).Float64() = %v", got)
 	}
-	if got := String_("hi").Str(); got != "hi" {
+	if got := Str("hi").Str(); got != "hi" {
 		t.Errorf("Str() = %q", got)
 	}
 	now := time.Date(2012, 8, 1, 0, 0, 0, 0, time.UTC)
@@ -63,14 +63,14 @@ func TestCompareOrdering(t *testing.T) {
 		{Float(2), Int(2), 0},
 		{TimeUnix(5), TimeUnix(9), -1},
 		{TimeUnix(5), Int(5), 0},
-		{String_("a"), String_("b"), -1},
-		{String_("b"), String_("a"), 1},
-		{String_("a"), String_("a"), 0},
+		{Str("a"), Str("b"), -1},
+		{Str("b"), Str("a"), 1},
+		{Str("a"), Str("a"), 0},
 		{Null(), Int(0), -1},
 		{Int(0), Null(), 1},
 		{Null(), Null(), 0},
-		{Int(1), String_("a"), -1}, // numeric before string
-		{String_("a"), Int(1), 1},
+		{Int(1), Str("a"), -1}, // numeric before string
+		{Str("a"), Int(1), 1},
 	}
 	for _, c := range cases {
 		if got := Compare(c.a, c.b); got != c.want {
@@ -88,7 +88,7 @@ func TestCompareAntisymmetryProperty(t *testing.T) {
 		case 1:
 			return Float(rng.Float64()*100 - 50)
 		case 2:
-			return String_(string(rune('a' + rng.Intn(26))))
+			return Str(string(rune('a' + rng.Intn(26))))
 		default:
 			return TimeUnix(int64(rng.Intn(1000)))
 		}
@@ -111,7 +111,7 @@ func TestCompareTransitivityProperty(t *testing.T) {
 		case 1:
 			vals[i] = Float(float64(rng.Intn(20)))
 		default:
-			vals[i] = String_(string(rune('a' + rng.Intn(5))))
+			vals[i] = Str(string(rune('a' + rng.Intn(5))))
 		}
 	}
 	for _, a := range vals {
@@ -138,13 +138,13 @@ func TestValueAdd(t *testing.T) {
 	if got := TimeUnix(100).Add(60); got.Kind() != KindTime || got.Int64() != 160 {
 		t.Errorf("TimeUnix add = %v", got)
 	}
-	if got := String_("x").Add(1); got.Str() != "x" {
+	if got := Str("x").Add(1); got.Str() != "x" {
 		t.Errorf("String add mutated: %v", got)
 	}
 }
 
 func TestParseValueRoundTrip(t *testing.T) {
-	vals := []Value{Int(-12), Float(3.25), String_("hello, world"), TimeUnix(1349049600), Null()}
+	vals := []Value{Int(-12), Float(3.25), Str("hello, world"), TimeUnix(1349049600), Null()}
 	kinds := []Kind{KindInt, KindFloat, KindString, KindTime, KindInt}
 	for i, v := range vals {
 		got, err := ParseValue(kinds[i], v.String())
@@ -194,10 +194,10 @@ func TestEncodedSize(t *testing.T) {
 	if got := Int(1).EncodedSize(); got != 9 {
 		t.Errorf("int size = %d", got)
 	}
-	if got := String_("abcd").EncodedSize(); got != 9 {
+	if got := Str("abcd").EncodedSize(); got != 9 {
 		t.Errorf("string size = %d, want 9", got)
 	}
-	tup := Tuple{Int(1), String_("ab")}
+	tup := Tuple{Int(1), Str("ab")}
 	want := 4 + 9 + (1 + 4 + 2)
 	if got := tup.EncodedSize(); got != want {
 		t.Errorf("tuple size = %d, want %d", got, want)

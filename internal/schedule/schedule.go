@@ -71,15 +71,30 @@ func (t Task) minUnitsFor(deadline float64, maxUnits int) int {
 	return 0
 }
 
-// Placement records one scheduled task.
+// Placement records one scheduled task. Beyond the report fields
+// (start, finish, units) it carries what an executor needs to drive
+// the task for real: the IDs that must complete first and the wave
+// ordinal the task starts in.
 type Placement struct {
 	TaskID string
 	Start  float64
 	Finish float64
 	Units  int
+
+	// DependsOn lists the task IDs that must finish before this task
+	// may start (copied from the task specification).
+	DependsOn []string
+	// Wave is the ordinal of this placement's start time among the
+	// distinct start times of the plan: every task in wave 0 starts at
+	// t=0, wave w+1 tasks start when some wave-≤w task frees units or
+	// satisfies a dependency.
+	Wave int
 }
 
-// Plan is a complete schedule.
+// Plan is a complete schedule. Placements are finalized in execution
+// order — ascending start time, ties broken by task ID — so a driver
+// can dispatch them front to back, gating each on free units and on
+// its DependsOn set.
 type Plan struct {
 	Placements []Placement
 	Makespan   float64
@@ -93,6 +108,61 @@ func (p *Plan) Placement(id string) (Placement, bool) {
 		}
 	}
 	return Placement{}, false
+}
+
+// ExecutionOrder returns the placements in dispatch order: ascending
+// start time, ties broken by task ID. The slice is a copy; callers may
+// reorder it.
+func (p *Plan) ExecutionOrder() []Placement {
+	out := append([]Placement(nil), p.Placements...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].TaskID < out[j].TaskID
+	})
+	return out
+}
+
+// Waves groups the placements by wave ordinal: Waves()[0] holds every
+// task starting at t=0, and so on. Within a wave, placements are in
+// task-ID order.
+func (p *Plan) Waves() [][]Placement {
+	order := p.ExecutionOrder()
+	var waves [][]Placement
+	for _, pl := range order {
+		for pl.Wave >= len(waves) {
+			waves = append(waves, nil)
+		}
+		waves[pl.Wave] = append(waves[pl.Wave], pl)
+	}
+	return waves
+}
+
+// finalize annotates a freshly computed plan with the executable
+// structure: dependency lists from the task specs and wave ordinals
+// from the distinct start times, then orders placements for dispatch.
+func (p *Plan) finalize(byID map[string]*Task) {
+	sort.Slice(p.Placements, func(i, j int) bool {
+		if p.Placements[i].Start != p.Placements[j].Start {
+			return p.Placements[i].Start < p.Placements[j].Start
+		}
+		return p.Placements[i].TaskID < p.Placements[j].TaskID
+	})
+	const eps = 1e-9
+	wave := -1
+	prevStart := math.Inf(-1)
+	for i := range p.Placements {
+		pl := &p.Placements[i]
+		if t := byID[pl.TaskID]; t != nil {
+			pl.DependsOn = append([]string(nil), t.DependsOn...)
+		}
+		if pl.Start > prevStart+eps {
+			wave++
+			prevStart = pl.Start
+		}
+		pl.Wave = wave
+	}
 }
 
 // Schedule computes an execution plan for the tasks on kP units.
@@ -158,6 +228,7 @@ func Schedule(tasks []Task, kP int) (*Plan, error) {
 	if best == nil {
 		return nil, fmt.Errorf("schedule: no feasible plan (is every profile within kP units?)")
 	}
+	best.finalize(byID)
 	return best, nil
 }
 

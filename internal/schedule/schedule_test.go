@@ -308,3 +308,50 @@ func TestTwoTaskOptimality(t *testing.T) {
 		}
 	}
 }
+
+// TestExecutableStructure asserts the plan exposes what an executor
+// needs: dispatch ordering, wave grouping, and dependency lists.
+func TestExecutableStructure(t *testing.T) {
+	flat := []float64{10, 5, 4, 4}
+	plan, err := Schedule([]Task{
+		{ID: "a", Profile: flat},
+		{ID: "b", Profile: flat},
+		{ID: "merge", Profile: flat, DependsOn: []string{"a", "b"}},
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := plan.ExecutionOrder()
+	if len(order) != 3 {
+		t.Fatalf("execution order has %d placements, want 3", len(order))
+	}
+	pos := map[string]int{}
+	for i, p := range order {
+		pos[p.TaskID] = i
+		if i > 0 && order[i-1].Start > p.Start {
+			t.Errorf("execution order not sorted by start: %v before %v", order[i-1], p)
+		}
+	}
+	if pos["merge"] != 2 {
+		t.Errorf("dependent task dispatched at position %d, want last", pos["merge"])
+	}
+	mp, _ := plan.Placement("merge")
+	if len(mp.DependsOn) != 2 {
+		t.Errorf("merge placement lost dependencies: %v", mp.DependsOn)
+	}
+	waves := plan.Waves()
+	if len(waves) < 2 {
+		t.Fatalf("expected >= 2 waves, got %d: %v", len(waves), waves)
+	}
+	for _, p := range waves[0] {
+		if p.Start != 0 {
+			t.Errorf("wave 0 task %s starts at %v, want 0", p.TaskID, p.Start)
+		}
+		if p.TaskID == "merge" {
+			t.Error("dependent task placed in wave 0")
+		}
+	}
+	if mp.Wave == 0 {
+		t.Error("merge task assigned wave 0")
+	}
+}
