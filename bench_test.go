@@ -139,6 +139,74 @@ func BenchmarkShuffle(b *testing.B) {
 	}
 }
 
+// BenchmarkSkewedShuffle compares the plain hash partitioner against
+// the skew-aware partitioner on a Zipf(1.2)-keyed equi-join: the
+// baseline's hottest reducer serialises the hot key's join work, the
+// skew-aware variant splits it across sub-reducers. Each sub-benchmark
+// reports the measured reducer balance ratio (MaxReducerInput / mean)
+// alongside ns/op.
+func BenchmarkSkewedShuffle(b *testing.B) {
+	zipfRel := func(name string, n int, seed int64) *relation.Relation {
+		r := relation.New(name, relation.MustSchema(
+			relation.Column{Name: "k", Kind: relation.KindInt},
+			relation.Column{Name: "v", Kind: relation.KindInt},
+		))
+		rng := rand.New(rand.NewSource(seed))
+		z := rand.NewZipf(rng, 1.2, 1, 4095)
+		for i := 0; i < n; i++ {
+			r.MustAppend(relation.Tuple{
+				relation.Int(int64(z.Uint64())),
+				relation.Int(int64(rng.Intn(1 << 16))),
+			})
+		}
+		return r
+	}
+	const kr = 32
+	db, err := core.NewDB(1000, 1, zipfRel("L", 30000, 7), zipfRel("R", 3000, 8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rel := func(name string) *relation.Relation {
+		r, err := db.Relation(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return r
+	}
+	conds := predicate.Conjunction{predicate.C("L", "k", predicate.EQ, "R", "k")}
+	baseJob, err := core.BuildHashEquiJob("skewbench-base", rel("L"), rel("R"), conds, kr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := core.SkewPlanFor(db.Catalog, core.KindHashEqui, conds, kr, 0)
+	if plan == nil {
+		b.Fatal("no skew plan on Zipf(1.2) keys")
+	}
+	skewJob, err := core.BuildHashEquiJobSkew("skewbench-skew", rel("L"), rel("R"), conds, kr, plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		job  *mr.Job
+	}{{"baseline", baseJob}, {"skew-aware", skewJob}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := mr.DefaultConfig()
+			cfg.TuplesPerMapTask = 2048
+			var balance float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := mr.Run(context.Background(), cfg, nil, mode.job)
+				if err != nil {
+					b.Fatal(err)
+				}
+				balance = res.Metrics.BalanceRatio
+			}
+			b.ReportMetric(balance, "balance")
+		})
+	}
+}
+
 func concurrentPlanFixture(b *testing.B, kp, units int) (*core.Planner, *core.Plan, *core.DB) {
 	b.Helper()
 	mk := func(name string, n int, rng *rand.Rand) *relation.Relation {

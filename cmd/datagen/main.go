@@ -3,8 +3,14 @@
 // Usage:
 //
 //	datagen -workload mobile -tuples 1000 -out calls.csv
-//	datagen -workload tpch -scale 1.0 -dir tpch/
+//	datagen -workload mobile -tuples 1000 -zipf 1.8 -out skewed.csv
+//	datagen -workload tpch -scale 1.0 -zipf 1.2 -dir tpch/
 //	datagen -workload flights -cities 4 -per-leg 100 -dir flights/
+//
+// -zipf sets the key-skew exponent (s > 1, larger = more skewed): the
+// mobile workload's station popularity (default 1.3) and, when set,
+// the TPC-H foreign keys custkey/partkey/suppkey (default uniform).
+// Fixed -seed values make every skewed dataset reproducible.
 package main
 
 import (
@@ -31,6 +37,7 @@ func run() error {
 	cities := flag.Int("cities", 4, "flights: cities on the route")
 	perLeg := flag.Int("per-leg", 100, "flights: flights per leg")
 	seed := flag.Int64("seed", 1, "generator seed")
+	zipf := flag.Float64("zipf", 0, "key-skew Zipf exponent (0 = workload default; mobile stations, tpch foreign keys)")
 	out := flag.String("out", "", "output CSV (single-relation workloads)")
 	dir := flag.String("dir", ".", "output directory (multi-relation workloads)")
 	flag.Parse()
@@ -53,6 +60,7 @@ func run() error {
 		cfg := workloads.DefaultMobileConfig()
 		cfg.Tuples = *tuples
 		cfg.Seed = *seed
+		cfg.ZipfS = *zipf
 		path := *out
 		if path == "" {
 			path = "calls.csv"
@@ -62,6 +70,7 @@ func run() error {
 		cfg := workloads.DefaultTPCHConfig()
 		cfg.Scale = *scale
 		cfg.Seed = *seed
+		cfg.ZipfS = *zipf
 		db, err := workloads.TPCHDB(cfg, 100)
 		if err != nil {
 			return err

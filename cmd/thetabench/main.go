@@ -23,8 +23,9 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "run reduced sweeps (seconds instead of minutes)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	seed := flag.Int64("seed", 1, "suite seed: offsets every experiment's data and sampling seeds (1 = the paper series)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: thetabench [-quick] [-list] [experiment ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: thetabench [-quick] [-list] [-seed N] [experiment ...]\n")
 		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(bench.Experiments(), " "))
 		flag.PrintDefaults()
 	}
@@ -36,6 +37,7 @@ func main() {
 		return
 	}
 	suite := bench.NewSuite(*quick)
+	suite.Seed = *seed
 	ids := flag.Args()
 	if len(ids) == 0 {
 		ids = bench.Experiments()

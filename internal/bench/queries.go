@@ -30,7 +30,7 @@ func (s *Suite) Table2() (*Table, error) {
 		}
 		cfg := workloads.DefaultMobileConfig()
 		cfg.Tuples = tuples
-		cfg.Seed = int64(n)
+		cfg.Seed = s.seedFor(int64(n))
 		db, err := workloads.MobileDB(cfg, 200)
 		if err != nil {
 			return nil, err
@@ -65,7 +65,7 @@ func (s *Suite) Table3() (*Table, error) {
 		}
 		cfg := workloads.DefaultTPCHConfig()
 		cfg.Scale = scale
-		cfg.Seed = int64(n)
+		cfg.Seed = s.seedFor(int64(n))
 		db, err := workloads.TPCHDB(cfg, 200)
 		if err != nil {
 			return nil, err
@@ -148,7 +148,7 @@ func (s *Suite) MobileComparison(kp int) (*Table, error) {
 			mcfg := workloads.DefaultMobileConfig()
 			mcfg.Tuples = workloads.MobileTuplesFor(qn, gb)
 			mcfg.NominalGB = gb
-			mcfg.Seed = int64(qn*1000) + int64(gb)
+			mcfg.Seed = s.seedFor(int64(qn*1000) + int64(gb))
 			db, err := workloads.MobileDB(mcfg, 300)
 			if err != nil {
 				return nil, err
@@ -197,7 +197,7 @@ func (s *Suite) TPCHComparison(kp int) (*Table, error) {
 			tcfg := workloads.DefaultTPCHConfig()
 			tcfg.Scale = workloads.TPCHRowsFor(qn, gb)
 			tcfg.NominalGB = gb
-			tcfg.Seed = int64(qn*1000) + int64(gb)
+			tcfg.Seed = s.seedFor(int64(qn*1000) + int64(gb))
 			db, err := workloads.TPCHDB(tcfg, 300)
 			if err != nil {
 				return nil, err

@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/relation"
+	"repro/internal/skew"
 )
 
 // RowIDColumn is the synthetic unique row identifier column added to
@@ -57,13 +59,21 @@ func NewDB(sampleSize int, seed int64, rels ...*relation.Relation) (*DB, error) 
 	return db, nil
 }
 
-// Analyze (re)builds the statistics catalog.
+// Analyze (re)builds the statistics catalog, including the per-column
+// heavy-hitter reports the skew subsystem consumes. The explicit seed
+// makes sampling — and therefore the hot-key reports and every plan
+// derived from them — deterministic across runs.
 func (db *DB) Analyze(sampleSize int, seed int64) {
 	all := make([]*relation.Relation, 0, len(db.rels))
 	for _, r := range db.rels {
 		all = append(all, r)
 	}
+	// The catalog rng is shared across relations in slice order; sort
+	// by name so each relation draws the same sample every run (map
+	// iteration order would otherwise leak into the statistics).
+	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
 	db.Catalog = relation.NewCatalog(all, sampleSize, rand.New(rand.NewSource(seed)))
+	skew.AnnotateCatalog(db.Catalog, all, skew.DefaultOptions())
 }
 
 // Relation returns a registered relation.

@@ -11,6 +11,7 @@ import (
 	"repro/internal/predicate"
 	"repro/internal/relation"
 	"repro/internal/schedule"
+	"repro/internal/skew"
 )
 
 // ExecResult is the outcome of executing a plan.
@@ -294,9 +295,9 @@ func (pl *Planner) buildPlannedJob(pj *PlannedJob, db *DB, produced map[string]*
 	var err error
 	switch pj.Kind {
 	case KindHashEqui:
-		job, err = BuildHashEquiJob(pj.Name, rels[0], rels[1], pj.Conds, pj.Reducers)
+		job, err = BuildHashEquiJobSkew(pj.Name, rels[0], rels[1], pj.Conds, pj.Reducers, pj.Skew)
 	case KindShareGrid:
-		job, err = BuildShareGridJob(pj.Name, rels, pj.Conds, pj.Reducers, pl.Opts.MaxCells)
+		job, err = BuildShareGridJobSkew(pj.Name, rels, pj.Conds, pj.Reducers, pl.Opts.MaxCells, pj.Skew)
 	default:
 		job, _, err = BuildThetaJob(pj.Name, rels, pj.Conds, pj.Reducers, pl.Opts.MaxCells)
 	}
@@ -774,6 +775,21 @@ func totalArity(rels []*relation.Relation) int {
 // conjunction of equalities between exactly two relations: tuples hash
 // on the composite key, no duplication.
 func BuildHashEquiJob(name string, left, right *relation.Relation, conds predicate.Conjunction, kr int) (*mr.Job, error) {
+	return BuildHashEquiJobSkew(name, left, right, conds, kr, nil)
+}
+
+// BuildHashEquiJobSkew is BuildHashEquiJob with optional heavy-hitter
+// handling: for each hot join-key value in the plan, the left side's
+// tuples split across a Rows sub-grid of reducers by content hash and
+// the right side replicates across it (and symmetrically with Cols
+// when the right side is hot), per SharesSkew. Reducer-side logic is
+// unchanged — each sub-reducer joins its fragment against the
+// replicated side, and fragments are disjoint, so the output is the
+// same set of tuples with the hot key's work spread evenly. Splitting
+// applies to single-condition (single-column) keys; composite keys
+// fall back to plain hashing. A nil plan reproduces BuildHashEquiJob
+// exactly.
+func BuildHashEquiJobSkew(name string, left, right *relation.Relation, conds predicate.Conjunction, kr int, plan *skew.JobPlan) (*mr.Job, error) {
 	if !AllEquiSamePair(conds) {
 		return nil, fmt.Errorf("core: conditions %s are not a two-relation equi conjunction", conds)
 	}
@@ -783,6 +799,7 @@ func BuildHashEquiJob(name string, left, right *relation.Relation, conds predica
 		off float64
 	}
 	var lCols, rCols []keyCol
+	var oriented []predicate.Condition
 	for _, c := range conds {
 		oc := c
 		if oc.Left != left.Name {
@@ -798,6 +815,7 @@ func BuildHashEquiJob(name string, left, right *relation.Relation, conds predica
 		}
 		lCols = append(lCols, keyCol{lc, oc.LeftOffset})
 		rCols = append(rCols, keyCol{rc, oc.RightOffset})
+		oriented = append(oriented, oc)
 	}
 	hashKey := func(t relation.Tuple, cols []keyCol) uint64 {
 		h := fnv.New64a()
@@ -806,6 +824,58 @@ func BuildHashEquiJob(name string, left, right *relation.Relation, conds predica
 			h.Write([]byte{0x1f})
 		}
 		return h.Sum64()
+	}
+	var partitioner mr.Partitioner
+	if plan != nil && len(oriented) == 1 {
+		oc := oriented[0]
+		// A hot value's shuffle key: the same hash the map side emits.
+		valueKey := func(v relation.Value, off float64) uint64 {
+			h := fnv.New64a()
+			h.Write([]byte(v.Add(off).String()))
+			h.Write([]byte{0x1f})
+			return h.Sum64()
+		}
+		type frac2 struct{ l, r float64 }
+		hot := make(map[uint64]frac2)
+		for _, hk := range plan.Hot(oc.Left, oc.LeftColumn) {
+			k := valueKey(hk.Value, oc.LeftOffset)
+			f := hot[k]
+			if hk.Frac > f.l {
+				f.l = hk.Frac
+			}
+			hot[k] = f
+		}
+		for _, hk := range plan.Hot(oc.Right, oc.RightColumn) {
+			k := valueKey(hk.Value, oc.RightOffset)
+			f := hot[k]
+			if hk.Frac > f.r {
+				f.r = hk.Frac
+			}
+			hot[k] = f
+		}
+		splits := make(map[uint64]skew.Split)
+		for k, f := range hot {
+			sp := skew.Split{
+				Rows: skew.SplitFactor(f.l, kr, plan.Threshold),
+				Cols: skew.SplitFactor(f.r, kr, plan.Threshold),
+			}
+			// Shrink the larger axis until the sub-grid fits in kr.
+			for sp.Cells() > kr {
+				if sp.Rows >= sp.Cols && sp.Rows > 1 {
+					sp.Rows--
+				} else if sp.Cols > 1 {
+					sp.Cols--
+				} else {
+					break
+				}
+			}
+			if sp.Cells() > 1 && sp.Cells() <= kr {
+				splits[k] = sp
+			}
+		}
+		if len(splits) > 0 {
+			partitioner = &skew.EquiPartitioner{Splits: splits}
+		}
 	}
 	verify := func(l, r relation.Tuple) bool {
 		for i := range lCols {
@@ -841,6 +911,7 @@ func BuildHashEquiJob(name string, left, right *relation.Relation, conds predica
 			}
 		},
 		NumReducers:  kr,
+		Partitioner:  partitioner,
 		OutputName:   name,
 		OutputSchema: prefixedSchema(rels),
 	}, nil

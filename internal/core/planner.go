@@ -13,6 +13,7 @@ import (
 	"repro/internal/relation"
 	"repro/internal/schedule"
 	"repro/internal/setcover"
+	"repro/internal/skew"
 )
 
 // PlanOptions tune the planner.
@@ -32,6 +33,23 @@ type PlanOptions struct {
 	// evaluating every condition in one MapReduce job (used by the
 	// single-vs-multi ablation; errors if no such candidate survives).
 	ForceSingleJob bool
+	// SkewThreshold triggers hot-key handling: a join-key value is
+	// treated as hot when its estimated tuple fraction times the job's
+	// reducer count exceeds it (its load passes Threshold × the mean
+	// reducer load). <= 0 uses skew.DefaultThreshold.
+	SkewThreshold float64
+	// DisableSkew turns off heavy-hitter-aware costing and routing,
+	// reverting to the constant sigma fudge factors and plain hash
+	// partitioning (the pre-skew baseline, kept for ablations).
+	DisableSkew bool
+}
+
+// skewThreshold resolves the effective hot-key trigger.
+func (pl *Planner) skewThreshold() float64 {
+	if pl.Opts.SkewThreshold > 0 {
+		return pl.Opts.SkewThreshold
+	}
+	return skew.DefaultThreshold
 }
 
 // Planner maps an N-join query onto a scheduled set of MapReduce jobs
@@ -64,6 +82,12 @@ type PlannedJob struct {
 	Units    int // scheduler allotment
 	EstTime  float64
 	Profile  []float64 // T(k) for k = 1..KP
+
+	// Skew is the hot-key handling chosen for this job from the
+	// catalog's heavy-hitter reports; nil when no key is hot enough
+	// (or skew handling is disabled). The physical operators derive
+	// their split layout from it at build time.
+	Skew *skew.JobPlan
 }
 
 // Plan is the optimizer's output: the chosen job set with its schedule.
@@ -165,7 +189,7 @@ func (pl *Planner) Plan(q *query.Query, db *DB) (*Plan, error) {
 
 	var best *Plan
 	for _, cover := range covers {
-		plan, err := pl.scheduleCover(q, jp, cands, cover)
+		plan, err := pl.scheduleCover(q, jp, cands, cover, db)
 		if err != nil {
 			return nil, err
 		}
@@ -250,15 +274,33 @@ func (pl *Planner) costEdge(q *query.Query, g *query.JoinGraph, db *DB, edgeIDs 
 			outBytes = cap
 		}
 	}
-	// Reducer skew: Hilbert and share-grid partitions balance by
-	// construction (Theorem 2 / fair shares); hash partitioning on key
-	// values skews with the key distribution.
-	sigmaFrac := 0.08
-	switch kind {
-	case KindHashEqui:
-		sigmaFrac = 0.3 // key-value hash distribution skews
-	case KindShareGrid:
-		sigmaFrac = 0.15 // attribute-class hashing, moderate skew
+	// Reducer skew: the Hilbert cube balances by construction
+	// (Theorem 2: tuples route by salted-hash global IDs, immune to
+	// value skew), while hash and share-grid partitioning follow the
+	// key distribution. When the catalog carries a heavy-hitter report
+	// the constant fudge factors are replaced by an estimate derived
+	// from the hottest detected key (capped at the threshold beyond
+	// which the runtime splits the key across sub-reducers); without a
+	// report the historical constants apply.
+	pmax, skewKnown := 0.0, false
+	if !pl.Opts.DisableSkew && kind != KindHilbertTheta {
+		pmax, skewKnown = maxJoinHotFrac(db.Catalog, conds, kind)
+	}
+	sigmaFracAt := func(kind JobKind, parallelism int) float64 {
+		switch kind {
+		case KindHashEqui:
+			if skewKnown {
+				return skew.SigmaFrac(pmax, parallelism, pl.skewThreshold())
+			}
+			return 0.3 // key-value hash distribution skews
+		case KindShareGrid:
+			if skewKnown {
+				return skew.SigmaFrac(pmax, parallelism, pl.skewThreshold())
+			}
+			return 0.15 // attribute-class hashing, moderate skew
+		default:
+			return 0.08
+		}
 	}
 
 	profile := make([]float64, pl.KP)
@@ -302,7 +344,7 @@ func (pl *Planner) costEdge(q *query.Query, g *query.JoinGraph, db *DB, edgeIDs 
 			MapSlots: minInt(pl.Config.MapSlots, k),
 			Alpha:    alpha,
 			Beta:     beta,
-			Sigma:    sigmaFrac * shuffle / float64(effectiveN),
+			Sigma:    sigmaFracAt(kind, effectiveN) * shuffle / float64(effectiveN),
 		}
 		est, err := pl.Params.Estimate(prof, effectiveN)
 		if err != nil {
@@ -331,8 +373,92 @@ func minInt(a, b int) int {
 	return b
 }
 
+// maxJoinHotFrac scans the heavy-hitter reports of the conjunction's
+// equality endpoints and returns the hottest detected key fraction.
+// known reports whether any endpoint carried a (possibly empty)
+// report: an analyzed-but-uniform column legitimately yields pmax 0,
+// which SigmaFrac maps to a small residual-variance floor, whereas an
+// unanalyzed catalog keeps the pessimistic constants.
+func maxJoinHotFrac(cat *relation.Catalog, conds predicate.Conjunction, kind JobKind) (pmax float64, known bool) {
+	if cat == nil {
+		return 0, false
+	}
+	for _, c := range conds {
+		if !c.Op.IsEquality() {
+			continue
+		}
+		if kind == KindShareGrid && (c.LeftOffset != 0 || c.RightOffset != 0) {
+			continue // only zero-offset equalities form grid dimensions
+		}
+		for _, end := range [][2]string{{c.Left, c.LeftColumn}, {c.Right, c.RightColumn}} {
+			ts, err := cat.Stats(end[0])
+			if err != nil || ts.HotKeys == nil {
+				continue
+			}
+			hks, ok := ts.HotKeys[end[1]]
+			if !ok {
+				continue
+			}
+			known = true
+			if len(hks) > 0 && hks[0].Frac > pmax {
+				pmax = hks[0].Frac
+			}
+		}
+	}
+	return pmax, known
+}
+
+// SkewPlanFor consults the catalog's heavy-hitter reports and returns
+// the hot-key handling a job of this kind should run with, or nil when
+// no join-key value is hot enough at the given reducer count (or the
+// kind is skew-immune). Hash-equi jobs currently split only
+// single-condition (single-column) keys; share-grid jobs refine any
+// grid dimension whose class columns carry hot keys.
+func SkewPlanFor(cat *relation.Catalog, kind JobKind, conds predicate.Conjunction, reducers int, threshold float64) *skew.JobPlan {
+	if cat == nil || reducers < 2 {
+		return nil
+	}
+	if threshold <= 0 {
+		threshold = skew.DefaultThreshold
+	}
+	switch kind {
+	case KindHashEqui:
+		if len(conds) != 1 {
+			return nil
+		}
+	case KindShareGrid:
+	default:
+		return nil // the Hilbert cube routes by salted random IDs
+	}
+	plan := skew.NewJobPlan(threshold)
+	hotEnough := false
+	for _, c := range conds {
+		if !c.Op.IsEquality() {
+			continue
+		}
+		if kind == KindShareGrid && (c.LeftOffset != 0 || c.RightOffset != 0) {
+			continue
+		}
+		for _, end := range [][2]string{{c.Left, c.LeftColumn}, {c.Right, c.RightColumn}} {
+			ts, err := cat.Stats(end[0])
+			if err != nil || len(ts.HotKeys[end[1]]) == 0 {
+				continue
+			}
+			hks := ts.HotKeys[end[1]]
+			plan.Add(end[0], end[1], hks)
+			if hks[0].Frac*float64(reducers) > threshold {
+				hotEnough = true
+			}
+		}
+	}
+	if !hotEnough {
+		return nil
+	}
+	return plan
+}
+
 // scheduleCover turns one sufficient cover into a scheduled plan.
-func (pl *Planner) scheduleCover(q *query.Query, jp *joinpath.Graph, cands map[string]*candidate, cover []int) (*Plan, error) {
+func (pl *Planner) scheduleCover(q *query.Query, jp *joinpath.Graph, cands map[string]*candidate, cover []int, db *DB) (*Plan, error) {
 	var jobs []PlannedJob
 	var tasks []schedule.Task
 	var mergeEst float64
@@ -386,6 +512,13 @@ func (pl *Planner) scheduleCover(q *query.Query, jp *joinpath.Graph, cands map[s
 	for i := range jobs {
 		if jobs[i].Kind == KindShareGrid {
 			jobs[i].Reducers = jobs[i].Units
+		}
+	}
+	// With the reducer counts final, decide per-job hot-key handling
+	// from the catalog's heavy-hitter reports.
+	if !pl.Opts.DisableSkew && db != nil {
+		for i := range jobs {
+			jobs[i].Skew = SkewPlanFor(db.Catalog, jobs[i].Kind, jobs[i].Conds, jobs[i].Reducers, pl.skewThreshold())
 		}
 	}
 	return &Plan{

@@ -9,6 +9,7 @@ import (
 	"repro/internal/mr"
 	"repro/internal/predicate"
 	"repro/internal/relation"
+	"repro/internal/skew"
 )
 
 // Share-grid evaluation: the Afrati–Ullman one-job multiway join [2],
@@ -274,9 +275,130 @@ func ShareGridSize(conds predicate.Conjunction, rels []*relation.Relation, kr in
 	return grid, nil
 }
 
+// slotRange is the contiguous run of slots a value occupies along one
+// grid dimension: width 1 for cold values, the hot value's dedicated
+// sub-range otherwise.
+type slotRange struct{ lo, w int }
+
+// dimSlotter assigns grid-dimension slots to attribute values. Without
+// hot keys every value hashes uniformly over [0, share) — the plain
+// share-grid assignment. With hot keys, each heavy hitter owns a
+// dedicated sub-range of slots sized to its frequency ("finer cells"
+// for the hot row): the split relation's tuples pin one slot of the
+// range by content hash, the other member relations replicate across
+// it, and cold values hash into the remaining slots.
+type dimSlotter struct {
+	dim   int
+	share int
+	hot   map[string]slotRange
+	cold  slotRange // remaining slots for non-hot values
+	split int       // relation ordinal whose tuples pin within a hot range; -1 when no hot values
+}
+
+// rangeOf returns the slot range of value v on this dimension.
+func (ds *dimSlotter) rangeOf(v relation.Value) slotRange {
+	if r, ok := ds.hot[v.String()]; ok {
+		return r
+	}
+	h := fnv.New64a()
+	h.Write([]byte{byte(ds.dim)})
+	h.Write([]byte(v.String()))
+	return slotRange{ds.cold.lo + int(h.Sum64()%uint64(ds.cold.w)), 1}
+}
+
+// buildSlotter derives the slot assignment of one dimension from the
+// job's hot-key plan: hot values (frequency × share beyond the plan
+// threshold) receive sub-ranges proportional to their frequency, at
+// least one slot always remaining for cold values.
+func buildSlotter(dim int, cl *attrClass, rels []*relation.Relation, ordinal map[string]int, plan *skew.JobPlan) *dimSlotter {
+	ds := &dimSlotter{dim: dim, share: cl.share, cold: slotRange{0, cl.share}, split: -1}
+	if plan == nil || cl.share < 2 {
+		return ds
+	}
+	type hotv struct {
+		key  string
+		frac float64
+	}
+	agg := make(map[string]float64)
+	for relName, col := range cl.members {
+		i, ok := ordinal[relName]
+		if !ok {
+			continue
+		}
+		colName := rels[i].Schema.Column(col).Name
+		for _, hk := range plan.Hot(relName, colName) {
+			k := hk.Value.String()
+			if hk.Frac > agg[k] {
+				agg[k] = hk.Frac
+			}
+		}
+	}
+	var hots []hotv
+	for k, f := range agg {
+		if f*float64(cl.share) > plan.Threshold {
+			hots = append(hots, hotv{key: k, frac: f})
+		}
+	}
+	if len(hots) == 0 {
+		return ds
+	}
+	sort.Slice(hots, func(i, j int) bool {
+		if hots[i].frac != hots[j].frac {
+			return hots[i].frac > hots[j].frac
+		}
+		return hots[i].key < hots[j].key
+	})
+	budget := cl.share - 1 // at least one cold slot
+	used := 0
+	ds.hot = make(map[string]slotRange, len(hots))
+	for _, hv := range hots {
+		w := int(math.Ceil(hv.frac * float64(cl.share)))
+		if w > budget-used {
+			w = budget - used
+		}
+		if w < 1 {
+			break
+		}
+		ds.hot[hv.key] = slotRange{used, w}
+		used += w
+	}
+	if len(ds.hot) == 0 {
+		ds.hot = nil
+		return ds
+	}
+	ds.cold = slotRange{used, cl.share - used}
+	// Split relation: the largest member carries the dominant share of
+	// a hot row's tuples, so its side fragments and the smaller member
+	// sides replicate (ties broken by name for determinism).
+	for relName := range cl.members {
+		i, ok := ordinal[relName]
+		if !ok {
+			continue
+		}
+		if ds.split < 0 ||
+			rels[i].Cardinality() > rels[ds.split].Cardinality() ||
+			(rels[i].Cardinality() == rels[ds.split].Cardinality() && rels[i].Name < rels[ds.split].Name) {
+			ds.split = i
+		}
+	}
+	return ds
+}
+
 // BuildShareGridJob constructs the one-job share-based multiway join
 // for an equi-connected conjunction with optional theta residuals.
-func BuildShareGridJob(name string, rels []*relation.Relation, conds predicate.Conjunction, kr, _ int) (*mr.Job, error) {
+func BuildShareGridJob(name string, rels []*relation.Relation, conds predicate.Conjunction, kr, maxCells int) (*mr.Job, error) {
+	return BuildShareGridJobSkew(name, rels, conds, kr, maxCells, nil)
+}
+
+// BuildShareGridJobSkew is BuildShareGridJob with optional heavy-hitter
+// handling: grid dimensions whose attribute classes carry hot keys give
+// those keys dedicated slot sub-ranges ("hot rows get finer cells") —
+// the largest member relation's hot tuples spread over the sub-range by
+// content hash while smaller members replicate across it, so matching
+// combinations still meet in exactly one cell and the cell-ownership
+// check keeps the output duplicate-free. A nil plan reproduces
+// BuildShareGridJob exactly.
+func BuildShareGridJobSkew(name string, rels []*relation.Relation, conds predicate.Conjunction, kr, _ int, plan *skew.JobPlan) (*mr.Job, error) {
 	if len(rels) < 2 {
 		return nil, fmt.Errorf("core: share grid needs >= 2 relations")
 	}
@@ -305,18 +427,17 @@ func BuildShareGridJob(name string, rels []*relation.Relation, conds predicate.C
 		return nil, err
 	}
 	m := len(rels)
+	ordinal := make(map[string]int, m)
+	for i, r := range rels {
+		ordinal[r.Name] = i
+	}
 	checksAt := make([][]boundCond, m)
 	for _, bc := range bound {
 		checksAt[bc.hi] = append(checksAt[bc.hi], bc)
 	}
-	hashTo := func(v relation.Value, share, dim int) int {
-		if share <= 1 {
-			return 0
-		}
-		h := fnv.New64a()
-		h.Write([]byte{byte(dim)})
-		h.Write([]byte(v.String()))
-		return int(h.Sum64() % uint64(share))
+	slotters := make([]*dimSlotter, nDims)
+	for d, cl := range classes {
+		slotters[d] = buildSlotter(d, cl, rels, ordinal, plan)
 	}
 	// Per relation: which dims it knows (column ordinal per dim).
 	knownCol := make([][]int, m) // knownCol[rel][dim] = col or -1
@@ -336,7 +457,7 @@ func BuildShareGridJob(name string, rels []*relation.Relation, conds predicate.C
 		inputs[i] = mr.Input{
 			Rel: rels[i],
 			Map: func(t relation.Tuple, emit mr.Emitter) {
-				emitGrid(t, uint8(i), knownCol[i], classes, strides, 0, 0, hashTo, emit)
+				emitGrid(t, uint8(i), i, knownCol[i], slotters, strides, 0, 0, emit)
 			},
 		}
 	}
@@ -372,9 +493,20 @@ func BuildShareGridJob(name string, rels []*relation.Relation, conds predicate.C
 		var rec func(j int)
 		rec = func(j int) {
 			if j == m {
+				// The verified equality conditions guarantee every
+				// member of a dim's class carries the same value, so
+				// any owner is representative; for a hot value the
+				// split relation's tuple pins the slot within the
+				// sub-range, exactly as its map side routed it.
 				cell := 0
-				for d := range classes {
-					cell += hashTo(partial[dimOwner[d]][dimOwnCol[d]], classes[d].share, d) * strides[d]
+				for d := range slotters {
+					ds := slotters[d]
+					sr := ds.rangeOf(partial[dimOwner[d]][dimOwnCol[d]])
+					c := sr.lo
+					if sr.w > 1 {
+						c = sr.lo + int(skew.TupleHash(partial[ds.split])%uint64(sr.w))
+					}
+					cell += c * strides[d]
 				}
 				if uint64(cell) != key {
 					return // another reducer owns this combination
@@ -418,19 +550,34 @@ func BuildShareGridJob(name string, rels []*relation.Relation, conds predicate.C
 }
 
 // emitGrid recursively enumerates the reducer cells a tuple belongs
-// to: known dimensions are pinned by hashing, unknown ones swept.
-func emitGrid(t relation.Tuple, tag uint8, known []int, classes []*attrClass, strides []int,
-	dim, acc int, hashTo func(relation.Value, int, int) int, emit mr.Emitter) {
-	if dim == len(classes) {
+// to: known dimensions pin a slot (or, for a hot value, pin within /
+// replicate across its sub-range depending on whether this relation is
+// the dimension's split side), unknown dimensions are swept.
+func emitGrid(t relation.Tuple, tag uint8, relOrd int, known []int, slotters []*dimSlotter, strides []int,
+	dim, acc int, emit mr.Emitter) {
+	if dim == len(slotters) {
 		emit(uint64(acc), tag, t)
 		return
 	}
-	if col := known[dim]; col >= 0 {
-		c := hashTo(t[col], classes[dim].share, dim)
-		emitGrid(t, tag, known, classes, strides, dim+1, acc+c*strides[dim], hashTo, emit)
+	ds := slotters[dim]
+	col := known[dim]
+	if col < 0 {
+		for c := 0; c < ds.share; c++ {
+			emitGrid(t, tag, relOrd, known, slotters, strides, dim+1, acc+c*strides[dim], emit)
+		}
 		return
 	}
-	for c := 0; c < classes[dim].share; c++ {
-		emitGrid(t, tag, known, classes, strides, dim+1, acc+c*strides[dim], hashTo, emit)
+	sr := ds.rangeOf(t[col])
+	if sr.w <= 1 {
+		emitGrid(t, tag, relOrd, known, slotters, strides, dim+1, acc+sr.lo*strides[dim], emit)
+		return
+	}
+	if relOrd == ds.split {
+		c := sr.lo + int(skew.TupleHash(t)%uint64(sr.w))
+		emitGrid(t, tag, relOrd, known, slotters, strides, dim+1, acc+c*strides[dim], emit)
+		return
+	}
+	for c := sr.lo; c < sr.lo+sr.w; c++ {
+		emitGrid(t, tag, relOrd, known, slotters, strides, dim+1, acc+c*strides[dim], emit)
 	}
 }

@@ -36,6 +36,11 @@ type Metrics struct {
 
 	ReducerInputBytes []int64
 	MaxReducerInput   int64
+	// BalanceRatio is MaxReducerInput over the mean reducer input
+	// (ShuffleBytes / ReduceTasks): 1.0 is perfect balance, k means
+	// the straggler reducer carries k× its fair share. 0 when nothing
+	// was shuffled.
+	BalanceRatio float64
 
 	MapFailures    int
 	ReduceFailures int
@@ -67,7 +72,9 @@ type mapTask struct {
 // count or goroutine interleaving: map tasks partition their output
 // into per-reducer buckets as they emit, each reducer merges its
 // buckets in task order, and reduce keys are processed in sorted order
-// (values within a key keep task emission order).
+// (values within a key keep task emission order). A Job.Partitioner
+// (e.g. the skew-resilient router of internal/skew) participates in
+// this guarantee because routing is a pure function of pair content.
 //
 // Cancelling ctx aborts the run between tasks; the first error raised
 // by any worker (or the context's error) is returned and stops the
@@ -157,17 +164,28 @@ func Run(ctx context.Context, cfg Config, timer Timer, job *Job) (*Result, error
 		buckets := make([][]pair, nRed)
 		var outBytes int64
 		var emitErr error
-		emit := func(key uint64, tag uint8, value relation.Tuple) {
-			r := partition(key, nRed)
-			if r < 0 || r >= nRed {
-				if emitErr == nil {
-					emitErr = fmt.Errorf("mr: job %s: partition returned %d for %d reducers", job.Name, r, nRed)
-				}
-				return
+		var routeBuf []int
+		route := func(key uint64, tag uint8, value relation.Tuple) []int {
+			if job.Partitioner != nil {
+				return job.Partitioner.Route(routeBuf[:0], key, tag, value, nRed)
 			}
-			buckets[r] = append(buckets[r], pair{key: key, tag: tag, tuple: value})
-			// 8 bytes of key framing per shuffled pair.
-			outBytes += int64(float64(value.EncodedSize()+8) * task.multiplier)
+			routeBuf = append(routeBuf[:0], partition(key, nRed))
+			return routeBuf
+		}
+		emit := func(key uint64, tag uint8, value relation.Tuple) {
+			routeBuf = route(key, tag, value)
+			for _, r := range routeBuf {
+				if r < 0 || r >= nRed {
+					if emitErr == nil {
+						emitErr = fmt.Errorf("mr: job %s: partition returned %d for %d reducers", job.Name, r, nRed)
+					}
+					return
+				}
+				buckets[r] = append(buckets[r], pair{key: key, tag: tag, tuple: value})
+				// 8 bytes of key framing per shuffled pair; a replicated
+				// pair is copied (and charged) once per destination.
+				outBytes += int64(float64(value.EncodedSize()+8) * task.multiplier)
+			}
 		}
 		for _, t := range task.tuples {
 			mapFn(t, emit)
@@ -316,6 +334,10 @@ func Run(ctx context.Context, cfg Config, timer Timer, job *Job) (*Result, error
 			maxRed = b
 		}
 	}
+	balance := 0.0
+	if shuffleBytes > 0 && nRed > 0 {
+		balance = float64(maxRed) * float64(nRed) / float64(shuffleBytes)
+	}
 	return &Result{
 		Output: output,
 		Metrics: Metrics{
@@ -328,6 +350,7 @@ func Run(ctx context.Context, cfg Config, timer Timer, job *Job) (*Result, error
 			CombinationsChecked: combinations,
 			ReducerInputBytes:   reducerBytes,
 			MaxReducerInput:     maxRed,
+			BalanceRatio:        balance,
 			MapFailures:         totalMapFailures,
 			ReduceFailures:      totalReduceFailures,
 			Sim:                 sim,

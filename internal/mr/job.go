@@ -38,6 +38,19 @@ func (rc *ReduceContext) AddWork(n int64) { rc.combinations += n }
 // ReduceFunc processes all values grouped under one key.
 type ReduceFunc func(key uint64, values []Tagged, ctx *ReduceContext)
 
+// Partitioner routes one map-emitted pair to one or more reducers. It
+// generalises the Partition function for skew-resilient shuffles: a
+// heavy key's pairs can be split across sub-reducers by tuple content
+// while the matching other side replicates to all of them, so the
+// imbalance a value-skewed key distribution forces on a plain hash
+// partition disappears. Route appends the destination ordinals (each
+// in [0, numReducers)) to dst and returns the extended slice; it must
+// be a pure, deterministic function of its arguments — the engine's
+// determinism guarantee rests on it.
+type Partitioner interface {
+	Route(dst []int, key uint64, tag uint8, t relation.Tuple, numReducers int) []int
+}
+
 // Input binds one relation to the map function applied to its tuples.
 type Input struct {
 	Rel *relation.Relation
@@ -56,6 +69,11 @@ type Job struct {
 	// Jobs whose keys are already component IDs use an identity
 	// partition.
 	Partition func(key uint64, numReducers int) int
+
+	// Partitioner, when set, routes pairs instead of Partition
+	// (including one-to-many skew-resilient routing); see the
+	// interface doc.
+	Partitioner Partitioner
 
 	// OutputName and OutputSchema describe the produced relation.
 	OutputName   string

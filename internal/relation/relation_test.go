@@ -3,6 +3,7 @@ package relation
 import (
 	"bytes"
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -354,5 +355,38 @@ func TestCatalog(t *testing.T) {
 	}
 	if _, err := cat.Stats("gamma"); err == nil {
 		t.Error("Stats(gamma) succeeded")
+	}
+}
+
+// TestAnalyzeSeededDefault pins the determinism contract Analyze
+// documents: with a nil rng (the rand.NewSource(1) default) — or any
+// identically seeded rng — repeated analyses of the same relation
+// retain the same sample rows and produce identical statistics. The
+// heavy-hitter detection feeding off these samples inherits the
+// guarantee.
+func TestAnalyzeSeededDefault(t *testing.T) {
+	r := New("S", MustSchema(
+		Column{Name: "a", Kind: KindInt},
+		Column{Name: "b", Kind: KindFloat},
+	))
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 2000; i++ {
+		r.MustAppend(Tuple{Int(int64(rng.Intn(50))), Float(rng.Float64() * 100)})
+	}
+	a := Analyze(r, 300, nil)
+	b := Analyze(r, 300, nil)
+	c := Analyze(r, 300, rand.New(rand.NewSource(1)))
+	if !reflect.DeepEqual(a.SampleRows, b.SampleRows) {
+		t.Error("nil-rng analyses drew different samples")
+	}
+	if !reflect.DeepEqual(a.SampleRows, c.SampleRows) {
+		t.Error("nil rng is not equivalent to rand.NewSource(1)")
+	}
+	if !reflect.DeepEqual(a.Columns, b.Columns) {
+		t.Error("nil-rng analyses produced different column stats")
+	}
+	d := Analyze(r, 300, rand.New(rand.NewSource(2)))
+	if reflect.DeepEqual(a.SampleRows, d.SampleRows) {
+		t.Error("differently seeded analyses drew identical samples (suspicious)")
 	}
 }

@@ -70,6 +70,17 @@ func (cs *ColumnStats) FracLess(v float64) float64 {
 	return est / float64(total)
 }
 
+// HotKey is one detected heavy hitter of a column: a value estimated
+// to carry at least a minimum share of the relation's tuples. The
+// skew subsystem (internal/skew) computes these from the statistics
+// sample — or exactly, for small relations — and the planner and
+// partitioners consume them to split hot keys across reducers.
+type HotKey struct {
+	Value Value
+	Count int64   // estimated occurrences in the full relation
+	Frac  float64 // estimated fraction of tuples carrying Value
+}
+
 // TableStats bundles per-column statistics with cardinality and size
 // information for one relation.
 type TableStats struct {
@@ -79,6 +90,11 @@ type TableStats struct {
 	ModeledSize int64
 	Columns     map[string]*ColumnStats
 	SampleRows  []Tuple
+
+	// HotKeys holds the per-column heavy-hitter report, ordered by
+	// estimated count descending. A nil map means detection never ran;
+	// an empty slice for a column means it was measured near-uniform.
+	HotKeys map[string][]HotKey
 
 	colOrder []string
 }
@@ -91,6 +107,13 @@ func (ts *TableStats) ColumnOrder() []string { return ts.colOrder }
 // sampleSize bounds both histogram construction and the retained sample
 // rows used for pairwise selectivity estimation; <=0 means a default
 // of 1000.
+//
+// A nil rng defaults to rand.New(rand.NewSource(1)): sampling — which
+// also feeds heavy-hitter detection (internal/skew) — is then
+// deterministic, so repeated analyses of the same relation produce
+// identical statistics, hot-key reports and, downstream, identical
+// plans. Callers wanting sampling variety must pass their own seeded
+// rng (core.NewDB threads an explicit seed through here).
 func Analyze(r *Relation, sampleSize int, rng *rand.Rand) *TableStats {
 	if sampleSize <= 0 {
 		sampleSize = 1000
@@ -199,7 +222,10 @@ type Catalog struct {
 	Tables map[string]*TableStats
 }
 
-// NewCatalog analyzes every relation with the given sample size.
+// NewCatalog analyzes every relation with the given sample size. The
+// rng is shared across relations in slice order; nil falls back to
+// Analyze's seeded default per relation (see Analyze for the
+// determinism contract).
 func NewCatalog(rels []*Relation, sampleSize int, rng *rand.Rand) *Catalog {
 	c := &Catalog{Tables: make(map[string]*TableStats, len(rels))}
 	for _, r := range rels {

@@ -1,0 +1,156 @@
+package skew
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// Options tune heavy-hitter detection.
+type Options struct {
+	// MaxKeys bounds the heavy hitters retained per column (default 8).
+	MaxKeys int
+	// MinFrac is the smallest estimated tuple fraction reported
+	// (default 0.05): values below it cannot overload a reducer at any
+	// realistic parallelism.
+	MinFrac float64
+	// ExactThreshold: relations with at most this many tuples are
+	// counted exactly instead of sketched from the sample (default
+	// 4096).
+	ExactThreshold int
+	// SketchCapacity sets the Misra–Gries counter budget for the
+	// sampled path (default 64); the undercount is then at most
+	// sample/65, far below MinFrac × sample.
+	SketchCapacity int
+}
+
+// DefaultOptions returns the detection defaults.
+func DefaultOptions() Options {
+	return Options{MaxKeys: 8, MinFrac: 0.05, ExactThreshold: 4096, SketchCapacity: 64}
+}
+
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.MaxKeys <= 0 {
+		o.MaxKeys = d.MaxKeys
+	}
+	if o.MinFrac <= 0 {
+		o.MinFrac = d.MinFrac
+	}
+	if o.ExactThreshold <= 0 {
+		o.ExactThreshold = d.ExactThreshold
+	}
+	if o.SketchCapacity <= 0 {
+		o.SketchCapacity = d.SketchCapacity
+	}
+	return o
+}
+
+// AnnotateCatalog fills the HotKeys report of every table in the
+// catalog for which a relation is supplied (matched by name). Tables
+// without a matching relation are sketched from their retained sample
+// rows alone.
+func AnnotateCatalog(cat *relation.Catalog, rels []*relation.Relation, opts Options) {
+	byName := make(map[string]*relation.Relation, len(rels))
+	for _, r := range rels {
+		if r != nil {
+			byName[r.Name] = r
+		}
+	}
+	for name, ts := range cat.Tables {
+		AnnotateTable(ts, byName[name], opts)
+	}
+}
+
+// AnnotateTable computes ts.HotKeys: per column, the values estimated
+// to carry at least MinFrac of the relation's tuples, ordered by
+// estimated count descending. Small relations (and any relation passed
+// with r != nil and at most ExactThreshold tuples) are counted
+// exactly; larger ones run the Misra–Gries sketch over the seeded
+// statistics sample, so the report is deterministic across runs.
+func AnnotateTable(ts *relation.TableStats, r *relation.Relation, opts Options) {
+	opts = opts.withDefaults()
+	ts.HotKeys = make(map[string][]relation.HotKey, len(ts.ColumnOrder()))
+	var rows []relation.Tuple
+	exact := false
+	if r != nil && r.Cardinality() <= opts.ExactThreshold {
+		rows, exact = r.Tuples, true
+	} else {
+		rows = ts.SampleRows
+	}
+	for ci, col := range ts.ColumnOrder() {
+		ts.HotKeys[col] = detectColumn(rows, ci, ts.Cardinality, exact, opts)
+	}
+}
+
+// detectColumn finds the heavy hitters of column ci over rows. When
+// exact is false, rows are a uniform sample of a relation with `card`
+// tuples and counts are scaled up accordingly.
+func detectColumn(rows []relation.Tuple, ci, card int, exact bool, opts Options) []relation.HotKey {
+	if len(rows) == 0 || card <= 0 {
+		return nil
+	}
+	type acc struct {
+		v relation.Value
+		n int64
+	}
+	counts := make(map[string]*acc)
+	if exact {
+		for _, t := range rows {
+			if ci >= len(t) || t[ci].IsNull() {
+				continue
+			}
+			k := t[ci].String()
+			if a, ok := counts[k]; ok {
+				a.n++
+			} else {
+				counts[k] = &acc{v: t[ci], n: 1}
+			}
+		}
+	} else {
+		sk := NewSketch(opts.SketchCapacity)
+		rep := make(map[string]relation.Value, opts.SketchCapacity)
+		for _, t := range rows {
+			if ci >= len(t) || t[ci].IsNull() {
+				continue
+			}
+			k := t[ci].String()
+			if _, seen := rep[k]; !seen {
+				rep[k] = t[ci]
+			}
+			sk.Add(k)
+		}
+		for _, e := range sk.Entries() {
+			counts[e.Key] = &acc{v: rep[e.Key], n: e.Count}
+		}
+	}
+	n := int64(len(rows))
+	var hot []relation.HotKey
+	for _, a := range counts {
+		frac := float64(a.n) / float64(n)
+		if frac < opts.MinFrac || a.n < 2 {
+			continue
+		}
+		est := a.n
+		if !exact {
+			est = int64(math.Round(frac * float64(card)))
+		}
+		hot = append(hot, relation.HotKey{Value: a.v, Count: est, Frac: frac})
+	}
+	sort.Slice(hot, func(i, j int) bool {
+		if hot[i].Count != hot[j].Count {
+			return hot[i].Count > hot[j].Count
+		}
+		return hot[i].Value.String() < hot[j].Value.String()
+	})
+	if len(hot) > opts.MaxKeys {
+		hot = hot[:opts.MaxKeys]
+	}
+	if len(hot) == 0 {
+		// Non-nil marks "measured, found uniform" — distinct from a
+		// column that was never analyzed.
+		return []relation.HotKey{}
+	}
+	return hot
+}

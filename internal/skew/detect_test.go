@@ -1,0 +1,98 @@
+package skew
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func zipfRel(name string, n int, s float64, seed int64) *relation.Relation {
+	r := relation.New(name, relation.MustSchema(
+		relation.Column{Name: "k", Kind: relation.KindInt},
+		relation.Column{Name: "v", Kind: relation.KindInt},
+	))
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, 999)
+	for i := 0; i < n; i++ {
+		r.MustAppend(relation.Tuple{
+			relation.Int(int64(z.Uint64())),
+			relation.Int(int64(rng.Intn(1000))),
+		})
+	}
+	return r
+}
+
+// TestAnnotateExactVsSampled: the sketch-over-sample path agrees with
+// the exact pass on which keys are heavy and roughly on their
+// fractions.
+func TestAnnotateExactVsSampled(t *testing.T) {
+	r := zipfRel("Z", 3000, 1.2, 5)
+	opts := DefaultOptions()
+
+	exactTS := relation.Analyze(r, 3000, rand.New(rand.NewSource(1)))
+	AnnotateTable(exactTS, r, opts) // cardinality ≤ ExactThreshold → exact pass
+	sampledTS := relation.Analyze(r, 600, rand.New(rand.NewSource(1)))
+	AnnotateTable(sampledTS, nil, opts) // no relation → sketch over sample
+
+	exact, sampled := exactTS.HotKeys["k"], sampledTS.HotKeys["k"]
+	if len(exact) == 0 || len(sampled) == 0 {
+		t.Fatalf("no hot keys detected: exact %d sampled %d", len(exact), len(sampled))
+	}
+	// The top key must agree, and its fraction estimate must be close.
+	if exact[0].Value.String() != sampled[0].Value.String() {
+		t.Errorf("top key mismatch: exact %v sampled %v", exact[0].Value, sampled[0].Value)
+	}
+	if d := exact[0].Frac - sampled[0].Frac; d > 0.08 || d < -0.08 {
+		t.Errorf("top-key fraction: exact %.3f vs sampled %.3f", exact[0].Frac, sampled[0].Frac)
+	}
+	// Every exact heavy hitter above 1.5× MinFrac should be recalled by
+	// the sampled pass.
+	got := map[string]bool{}
+	for _, hk := range sampled {
+		got[hk.Value.String()] = true
+	}
+	for _, hk := range exact {
+		if hk.Frac >= 1.5*opts.MinFrac && !got[hk.Value.String()] {
+			t.Errorf("exact heavy hitter %v (frac %.3f) missed by sampled pass", hk.Value, hk.Frac)
+		}
+	}
+}
+
+// TestAnnotateUniformColumn: a near-uniform column yields a measured-
+// but-empty report, not nil.
+func TestAnnotateUniformColumn(t *testing.T) {
+	r := zipfRel("U", 2000, 1.2, 9)
+	ts := relation.Analyze(r, 2000, nil)
+	AnnotateTable(ts, r, DefaultOptions())
+	if ts.HotKeys == nil {
+		t.Fatal("HotKeys nil after annotation")
+	}
+	v, ok := ts.HotKeys["v"]
+	if !ok {
+		t.Fatal("uniform column v has no report entry")
+	}
+	if len(v) != 0 {
+		t.Errorf("uniform column v reported hot keys: %v", v)
+	}
+}
+
+// TestAnnotateDeterministic: two annotations from identically seeded
+// analyses produce identical reports.
+func TestAnnotateDeterministic(t *testing.T) {
+	r := zipfRel("D", 9000, 1.2, 13) // above ExactThreshold → sketch path
+	a := relation.Analyze(r, 500, rand.New(rand.NewSource(4)))
+	b := relation.Analyze(r, 500, rand.New(rand.NewSource(4)))
+	opts := DefaultOptions()
+	AnnotateTable(a, r, opts)
+	AnnotateTable(b, r, opts)
+	ha, hb := a.HotKeys["k"], b.HotKeys["k"]
+	if len(ha) != len(hb) {
+		t.Fatalf("report lengths differ: %d vs %d", len(ha), len(hb))
+	}
+	for i := range ha {
+		if ha[i] != hb[i] {
+			t.Errorf("entry %d differs: %+v vs %+v", i, ha[i], hb[i])
+		}
+	}
+}

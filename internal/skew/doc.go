@@ -1,0 +1,37 @@
+// Package skew detects heavy hitters on join attributes and plans
+// skew-resilient shuffle routing around them.
+//
+// The paper's cost model (§4.1) charges every reducer an equal share
+// of the shuffled bytes plus a variance term, and the planner's
+// operators — hash repartitioning and the Afrati–Ullman share grid —
+// realise that balance only when join-key values are roughly uniform.
+// Real workloads are Zipf-skewed: one hot station code or part key can
+// put a constant fraction of the input on a single reducer, making it
+// the job makespan no matter how many units the scheduler grants.
+//
+// The subsystem has three layers:
+//
+//   - Detection: a Misra–Gries summary (Sketch) fed from the sampled
+//     statistics pass — with an exact counting pass for relations small
+//     enough to scan — produces a per-attribute heavy-hitter report
+//     ([]relation.HotKey) stored in the stats catalog
+//     (AnnotateCatalog). Because the sampling RNG is seeded, the report
+//     is deterministic across runs.
+//
+//   - Planning: core.Planner consults the report when costing candidate
+//     jobs (SigmaFrac turns the hottest key's share into the reducer
+//     input-variance estimate the cost model consumes) and attaches a
+//     JobPlan to planned jobs whose hottest key would overload a
+//     reducer past Threshold × the mean load.
+//
+//   - Routing: per SharesSkew (Afrati/Ullman et al.), a heavy hitter's
+//     tuples on one side are split across a Rows×Cols sub-grid of
+//     reducers by a deterministic content hash (TupleHash) while the
+//     matching other side replicates along the opposite axis, so every
+//     joining pair still meets exactly once. EquiPartitioner plugs this
+//     into the engine's shuffle for hash equi-joins; the share-grid
+//     operator gives hot rows of its grid finer cells the same way.
+//
+// All routing decisions are pure functions of tuple content and the
+// plan, so execution stays deterministic for any worker count.
+package skew

@@ -1,0 +1,161 @@
+package skew
+
+import (
+	"hash/fnv"
+	"math"
+
+	"repro/internal/relation"
+)
+
+// DefaultThreshold is the load-imbalance trigger: a key is handled as
+// hot when its estimated tuple fraction times the job's reducer count
+// exceeds it — i.e. the key alone would load a reducer past 1.5× the
+// mean.
+const DefaultThreshold = 1.5
+
+// JobPlan is the skew handling chosen for one planned job: the
+// heavy-hitter reports of the job's join attributes plus the trigger
+// threshold. Operators derive their concrete split layout from it at
+// build time (hash-equi sub-grids, share-grid hot-row refinement).
+type JobPlan struct {
+	Threshold float64
+	// Cols holds heavy hitters per relation per column.
+	Cols map[string]map[string][]relation.HotKey
+}
+
+// NewJobPlan builds an empty plan with the given threshold (<= 0 uses
+// DefaultThreshold).
+func NewJobPlan(threshold float64) *JobPlan {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	return &JobPlan{Threshold: threshold, Cols: make(map[string]map[string][]relation.HotKey)}
+}
+
+// Add registers the heavy hitters of rel.col.
+func (p *JobPlan) Add(rel, col string, hot []relation.HotKey) {
+	if len(hot) == 0 {
+		return
+	}
+	m, ok := p.Cols[rel]
+	if !ok {
+		m = make(map[string][]relation.HotKey)
+		p.Cols[rel] = m
+	}
+	m[col] = hot
+}
+
+// Hot returns the heavy hitters of rel.col (nil-safe).
+func (p *JobPlan) Hot(rel, col string) []relation.HotKey {
+	if p == nil {
+		return nil
+	}
+	return p.Cols[rel][col]
+}
+
+// TupleHash is the deterministic content hash that spreads a hot key's
+// tuples over its sub-reducers: identical in the map-side router and
+// the reduce-side ownership check, and independent of task or
+// goroutine interleaving.
+func TupleHash(t relation.Tuple) uint64 {
+	h := fnv.New64a()
+	var kb [2]byte
+	kb[1] = 0x1e
+	for _, v := range t {
+		kb[0] = byte(v.Kind())
+		h.Write(kb[:1])
+		h.Write([]byte(v.String()))
+		h.Write(kb[1:])
+	}
+	return h.Sum64()
+}
+
+// SplitFactor returns the number of sub-reducers a key carrying
+// fraction frac of one side's tuples warrants: 1 (no splitting) while
+// its load stays within threshold × the mean reducer load, otherwise
+// enough sub-reducers to bring each fragment back to roughly the mean.
+func SplitFactor(frac float64, reducers int, threshold float64) int {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	if frac <= 0 || reducers < 2 || frac*float64(reducers) <= threshold {
+		return 1
+	}
+	f := int(math.Ceil(frac * float64(reducers)))
+	if f > reducers {
+		f = reducers
+	}
+	return f
+}
+
+// SigmaFrac estimates the reducer-input variation coefficient (stddev
+// as a fraction of the mean) the cost model should charge, from the
+// hottest join-key fraction pmax at the given parallelism. The
+// straggler term of the model reads mean + 3σ, so a key holding
+// fraction p implies σ ≈ (p·k − 1)/3 × mean; runtime hot-key splitting
+// bounds the hot reducer near threshold × mean, capping the estimate.
+// A distribution measured near-uniform (pmax ≈ 0) yields a small
+// residual-hash-variance floor rather than the pessimistic constants
+// used when no report exists.
+func SigmaFrac(pmax float64, parallelism int, threshold float64) float64 {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	excess := pmax*float64(parallelism) - 1
+	if excess > threshold {
+		excess = threshold
+	}
+	cv := excess / 3
+	if cv < 0.02 {
+		cv = 0.02
+	}
+	return cv
+}
+
+// Split is the sub-reducer grid one hot join key is spread over:
+// tuples of the row side land in one of Rows row-fragments by
+// TupleHash and replicate across the Cols columns; the column side
+// mirrors. Every joining pair meets in exactly one of the Rows×Cols
+// cells.
+type Split struct {
+	Rows, Cols int
+}
+
+// Cells returns Rows×Cols.
+func (s Split) Cells() int { return s.Rows * s.Cols }
+
+// EquiPartitioner routes a repartition equi-join's shuffle with
+// heavy-hitter splitting: non-hot keys go to hash(key) mod n exactly
+// as the default partitioner would; a hot key's pairs spread over the
+// Cells consecutive reducers starting at that slot. It implements
+// mr.Partitioner.
+type EquiPartitioner struct {
+	// Splits maps the job's shuffle key (the composite join-key hash)
+	// of each heavy hitter to its sub-grid.
+	Splits map[uint64]Split
+}
+
+// Route implements the skew-resilient routing. Tag 0 is the row side
+// (split), any other tag the column side (replicated); with both sides
+// hot the Rows×Cols grid splits each and every pair still meets in
+// exactly one cell.
+func (p *EquiPartitioner) Route(dst []int, key uint64, tag uint8, t relation.Tuple, n int) []int {
+	base := int(key % uint64(n))
+	sp, ok := p.Splits[key]
+	if !ok || n < 2 || sp.Rows < 1 || sp.Cols < 1 || sp.Cells() > n {
+		return append(dst, base)
+	}
+	th := TupleHash(t)
+	if tag == 0 {
+		row := int(th % uint64(sp.Rows))
+		for c := 0; c < sp.Cols; c++ {
+			dst = append(dst, (base+row*sp.Cols+c)%n)
+		}
+		return dst
+	}
+	col := int(th % uint64(sp.Cols))
+	for r := 0; r < sp.Rows; r++ {
+		dst = append(dst, (base+r*sp.Cols+col)%n)
+	}
+	return dst
+}

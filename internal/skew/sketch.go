@@ -1,0 +1,82 @@
+package skew
+
+import "sort"
+
+// Sketch is a Misra–Gries heavy-hitter summary over a stream of string
+// keys. It maintains at most `capacity` counters; after n additions
+// every key with true count > n/(capacity+1) is guaranteed to be
+// present, and each reported count undercounts the true count by at
+// most ErrorBound. The summary is deterministic for a fixed insertion
+// order, which the seeded statistics sample guarantees.
+type Sketch struct {
+	capacity int
+	counts   map[string]int64
+	n        int64
+}
+
+// NewSketch builds a sketch with the given counter capacity (minimum 1).
+func NewSketch(capacity int) *Sketch {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Sketch{capacity: capacity, counts: make(map[string]int64, capacity+1)}
+}
+
+// Add feeds one key occurrence.
+func (s *Sketch) Add(key string) {
+	s.n++
+	if c, ok := s.counts[key]; ok {
+		s.counts[key] = c + 1
+		return
+	}
+	if len(s.counts) < s.capacity {
+		s.counts[key] = 1
+		return
+	}
+	// Counter set full: the classic Misra–Gries step decrements every
+	// counter (the new key's single occurrence cancels against one
+	// occurrence of each tracked key), evicting keys that reach zero.
+	for k, c := range s.counts {
+		if c <= 1 {
+			delete(s.counts, k)
+		} else {
+			s.counts[k] = c - 1
+		}
+	}
+}
+
+// N returns the number of additions.
+func (s *Sketch) N() int64 { return s.n }
+
+// ErrorBound returns the maximum undercount of any reported count:
+// floor(n / (capacity+1)).
+func (s *Sketch) ErrorBound() int64 { return s.n / int64(s.capacity+1) }
+
+// Estimate returns the tracked count for key (a lower bound on its
+// true count) and whether the key is tracked at all.
+func (s *Sketch) Estimate(key string) (int64, bool) {
+	c, ok := s.counts[key]
+	return c, ok
+}
+
+// Entry is one tracked key with its (lower-bound) count.
+type Entry struct {
+	Key   string
+	Count int64
+}
+
+// Entries returns the tracked keys ordered by count descending, key
+// ascending — a deterministic top-k view.
+func (s *Sketch) Entries() []Entry {
+	out := make([]Entry, 0, len(s.counts))
+	for k, c := range s.counts {
+		out = append(out, Entry{Key: k, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}

@@ -1,0 +1,90 @@
+package skew
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestSketchExactWhenUnderCapacity: with fewer distinct keys than
+// counters the sketch is an exact frequency table.
+func TestSketchExactWhenUnderCapacity(t *testing.T) {
+	s := NewSketch(16)
+	want := map[string]int64{}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		k := fmt.Sprintf("k%d", rng.Intn(10))
+		want[k]++
+		s.Add(k)
+	}
+	if s.N() != 5000 {
+		t.Fatalf("N = %d", s.N())
+	}
+	for k, w := range want {
+		got, ok := s.Estimate(k)
+		if !ok || got != w {
+			t.Errorf("Estimate(%s) = %d,%v want %d", k, got, ok, w)
+		}
+	}
+}
+
+// TestSketchErrorBound: every reported count is a lower bound within
+// n/(capacity+1) of the true count, on an adversarial-ish mixed stream.
+func TestSketchErrorBound(t *testing.T) {
+	const cap = 8
+	s := NewSketch(cap)
+	truth := map[string]int64{}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 20000; i++ {
+		var k string
+		if rng.Intn(100) < 40 {
+			k = fmt.Sprintf("hot%d", rng.Intn(2)) // two heavy keys, ~20% each
+		} else {
+			k = fmt.Sprintf("cold%d", rng.Intn(5000))
+		}
+		truth[k]++
+		s.Add(k)
+	}
+	bound := s.ErrorBound()
+	for _, e := range s.Entries() {
+		tr := truth[e.Key]
+		if e.Count > tr {
+			t.Errorf("key %s: sketch count %d exceeds true %d", e.Key, e.Count, tr)
+		}
+		if tr-e.Count > bound {
+			t.Errorf("key %s: undercount %d exceeds bound %d", e.Key, tr-e.Count, bound)
+		}
+	}
+	for _, k := range []string{"hot0", "hot1"} {
+		if _, ok := s.Estimate(k); !ok {
+			t.Errorf("heavy key %s evicted (true count %d, n %d)", k, truth[k], s.N())
+		}
+	}
+}
+
+// TestSketchTopKRecallZipf: on Zipf-distributed draws the sketch's top
+// entries contain the true top keys.
+func TestSketchTopKRecallZipf(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	z := rand.NewZipf(rng, 1.2, 1, 9999)
+	s := NewSketch(64)
+	truth := map[uint64]int64{}
+	for i := 0; i < 30000; i++ {
+		v := z.Uint64()
+		truth[v]++
+		s.Add(fmt.Sprintf("%d", v))
+	}
+	// Zipf(1.2) over [0,9999]: keys 0..4 are the true top 5.
+	got := map[string]bool{}
+	for i, e := range s.Entries() {
+		if i >= 10 {
+			break
+		}
+		got[e.Key] = true
+	}
+	for v := uint64(0); v < 5; v++ {
+		if !got[fmt.Sprintf("%d", v)] {
+			t.Errorf("true heavy key %d (count %d) missing from sketch top 10", v, truth[v])
+		}
+	}
+}

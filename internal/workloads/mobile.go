@@ -33,6 +33,10 @@ type MobileConfig struct {
 	Users     int     // distinct caller ids (default Tuples/3)
 	Seed      int64   // generator seed
 	NominalGB float64 // modeled volume; 0 leaves VolumeMultiplier at 1
+	// ZipfS is the station-popularity Zipf exponent (s > 1; larger is
+	// more skewed). 0 keeps the default of 1.3; values in (0,1] are
+	// clamped to just above 1 (mild skew).
+	ZipfS float64
 }
 
 // DefaultMobileConfig mirrors the paper's data set shape at laptop scale.
@@ -78,7 +82,7 @@ func MobileTable(cfg MobileConfig) *relation.Relation {
 		cfg.Users = cfg.Tuples/3 + 1
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	zipf := rand.NewZipf(rng, 1.3, 1, uint64(cfg.Stations-1))
+	zipf := rand.NewZipf(rng, zipfExponent(cfg.ZipfS, 1.3), 1, uint64(cfg.Stations-1))
 	r := relation.New("calls", MobileSchema())
 	for i := 0; i < cfg.Tuples; i++ {
 		day := rng.Intn(cfg.Days)
@@ -100,6 +104,19 @@ func MobileTable(cfg MobileConfig) *relation.Relation {
 	}
 	applyNominal(r, cfg.NominalGB)
 	return r
+}
+
+// zipfExponent resolves a configured Zipf exponent: 0 means the
+// workload default, and rand.NewZipf requires s > 1, so values in
+// (0,1] clamp to just above 1.
+func zipfExponent(s, def float64) float64 {
+	if s == 0 {
+		return def
+	}
+	if s <= 1 {
+		return 1.0001
+	}
+	return s
 }
 
 // applyNominal sets VolumeMultiplier so ModeledSize == gb×1e9.

@@ -30,6 +30,13 @@ type TPCHConfig struct {
 	Scale     float64 // row-count scale unit (1.0 ≈ 1k total rows)
 	Seed      int64
 	NominalGB float64 // modeled total volume across all tables
+	// ZipfS, when > 0, draws the foreign keys that drive the benchmark
+	// joins (orders.custkey, lineitem.partkey, lineitem.suppkey) from a
+	// Zipf(s) distribution instead of uniformly — a few hot customers,
+	// parts and suppliers, the skew shape the skew subsystem targets.
+	// 0 keeps DBGEN's uniform references; values in (0,1] clamp to
+	// just above 1.
+	ZipfS float64
 }
 
 // DefaultTPCHConfig returns a laptop-scale configuration.
@@ -75,6 +82,16 @@ func TPCHDB(cfg TPCHConfig, sampleSize int) (*core.DB, error) {
 		}
 		return n
 	}
+	// Foreign-key picker: uniform by default, Zipf-skewed when asked;
+	// the uniform path draws from rng exactly as before so default
+	// datasets are bit-identical across this change.
+	fkPick := func(n int) func() int {
+		if cfg.ZipfS <= 0 {
+			return func() int { return rng.Intn(n) }
+		}
+		z := rand.NewZipf(rng, zipfExponent(cfg.ZipfS, 1.2), 1, uint64(n-1))
+		return func() int { return int(z.Uint64()) }
+	}
 	nNation := 25
 	nSupplier := sc(25)
 	nCustomer := sc(75)
@@ -119,10 +136,11 @@ func TPCHDB(cfg TPCHConfig, sampleSize int) (*core.DB, error) {
 		relation.Column{Name: "orderdate", Kind: relation.KindInt},
 		relation.Column{Name: "totalprice", Kind: relation.KindFloat},
 	))
+	custPick := fkPick(nCustomer)
 	for i := 0; i < nOrders; i++ {
 		orders.MustAppend(relation.Tuple{
 			relation.Int(int64(i)),
-			relation.Int(int64(rng.Intn(nCustomer))),
+			relation.Int(int64(custPick())),
 			relation.Int(int64(tpchDateLo + rng.Intn(tpchDateHi-tpchDateLo))),
 			relation.Float(1000 + rng.Float64()*400000),
 		})
@@ -138,6 +156,7 @@ func TPCHDB(cfg TPCHConfig, sampleSize int) (*core.DB, error) {
 		relation.Column{Name: "receiptdate", Kind: relation.KindInt},
 	))
 	orderDateIdx := orders.Schema.MustLookup("orderdate")
+	partPick, suppPick := fkPick(nPart), fkPick(nSupplier)
 	for i := 0; i < nLineitem; i++ {
 		ok := int64(rng.Intn(nOrders))
 		// As in DBGEN, line items ship 1–121 days after their order is
@@ -150,8 +169,8 @@ func TPCHDB(cfg TPCHConfig, sampleSize int) (*core.DB, error) {
 		receipt := ship + 1 + rng.Intn(30)
 		lineitem.MustAppend(relation.Tuple{
 			relation.Int(ok),
-			relation.Int(int64(rng.Intn(nPart))),
-			relation.Int(int64(rng.Intn(nSupplier))),
+			relation.Int(int64(partPick())),
+			relation.Int(int64(suppPick())),
 			relation.Int(int64(1 + rng.Intn(50))),
 			relation.Float(100 + rng.Float64()*90000),
 			relation.Int(int64(ship)),

@@ -314,3 +314,63 @@ func TestTPCHRowsFor(t *testing.T) {
 		t.Error("6-way query should generate less data than 3-way")
 	}
 }
+
+// TestZipfSkewKnobs: the -zipf plumbing produces measurably more
+// concentrated key distributions without disturbing default datasets.
+func TestZipfSkewKnobs(t *testing.T) {
+	topFrac := func(vals []int64) float64 {
+		counts := map[int64]int{}
+		max := 0
+		for _, v := range vals {
+			counts[v]++
+			if counts[v] > max {
+				max = counts[v]
+			}
+		}
+		return float64(max) / float64(len(vals))
+	}
+
+	// Mobile: higher exponent concentrates station codes.
+	mild := DefaultMobileConfig()
+	mild.Tuples = 3000
+	heavy := mild
+	heavy.ZipfS = 2.5
+	col := func(cfg MobileConfig) []int64 {
+		r := MobileTable(cfg)
+		idx := r.Schema.MustLookup("bsc")
+		out := make([]int64, 0, r.Cardinality())
+		for _, tp := range r.Tuples {
+			out = append(out, tp[idx].Int64())
+		}
+		return out
+	}
+	if mf, hf := topFrac(col(mild)), topFrac(col(heavy)); hf <= mf {
+		t.Errorf("mobile zipf 2.5 not more skewed: top frac %.3f vs default %.3f", hf, mf)
+	}
+
+	// TPC-H: ZipfS skews custkey; 0 keeps the uniform default.
+	ucfg := DefaultTPCHConfig()
+	ucfg.Scale = 4
+	zcfg := ucfg
+	zcfg.ZipfS = 1.5
+	custCol := func(cfg TPCHConfig) []int64 {
+		db, err := TPCHDB(cfg, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orders, err := db.Relation("orders")
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx := orders.Schema.MustLookup("custkey")
+		out := make([]int64, 0, orders.Cardinality())
+		for _, tp := range orders.Tuples {
+			out = append(out, tp[idx].Int64())
+		}
+		return out
+	}
+	uf, zf := topFrac(custCol(ucfg)), topFrac(custCol(zcfg))
+	if zf < 2*uf {
+		t.Errorf("tpch zipf 1.5 custkey top frac %.3f, want >= 2x uniform %.3f", zf, uf)
+	}
+}
