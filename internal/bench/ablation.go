@@ -225,6 +225,109 @@ func chainRel(name string, n int, rng *rand.Rand) *relation.Relation {
 	return r
 }
 
+// AblationFeedback probes the runtime feedback loop: a two-stage
+// cascade whose second job consumes a Zipf-hot intermediate runs with
+// static planning (pre-execution statistics only; the intermediate has
+// none, so the downstream job hashes plainly) and with feedback
+// re-planning (measured statistics re-derive its reducer count and
+// hot-key splits at dispatch). Reported per mode: the downstream job's
+// reducer balance, its reduce-task count, and the plan makespan — the
+// two modes produce identical join output by construction.
+func (s *Suite) AblationFeedback() (*Table, error) {
+	t := &Table{
+		Title:   "Ablation: static plan vs runtime feedback re-planning (Zipf cascade)",
+		Columns: []string{"zipf s", "mode", "j2 balance", "j2 reducers", "makespan(s)", "replanned"},
+	}
+	shapes := []float64{1.1, 1.2, 1.4}
+	if s.Quick {
+		shapes = []float64{1.2}
+	}
+	const kr = 16
+	for _, zs := range shapes {
+		rng := rand.New(rand.NewSource(s.seedFor(int64(zs * 100))))
+		l := zipfBenchRel("L", 1500, zs, 500, rng)
+		r := zipfBenchRel("R", 400, zs, 500, rng)
+		sr := uniformBenchRel("S", 400, 500, rng)
+		l.VolumeMultiplier = 4e9 / float64(l.EncodedSize())
+		r.VolumeMultiplier = 1e9 / float64(r.EncodedSize())
+		sr.VolumeMultiplier = 1e9 / float64(sr.EncodedSize())
+		db, err := core.NewDB(500, s.seedFor(1), l, r, sr)
+		if err != nil {
+			return nil, err
+		}
+		for _, mode := range []struct {
+			name    string
+			disable bool
+		}{{"static", true}, {"feedback", false}} {
+			pl := core.NewPlanner(s.Cfg, kr)
+			pl.Opts.DisableReplan = mode.disable
+			plan := cascadePlanFor(db, kr)
+			res, err := pl.Execute(plan, db)
+			if err != nil {
+				return nil, err
+			}
+			m := res.JobMetrics["casc-j2"]
+			t.AddRow(fmt.Sprintf("%.1f", zs), mode.name,
+				fmt.Sprintf("%.2f", m.BalanceRatio),
+				fmt.Sprintf("%d", m.ReduceTasks),
+				fmtSec(res.Makespan),
+				fmt.Sprintf("%d", len(res.Replanned)))
+		}
+	}
+	return t, nil
+}
+
+// cascadePlanFor hand-builds the two-stage cascade plan (the planner
+// only emits jobs over base relations; cascades consuming produced
+// intermediates are the executor's territory).
+func cascadePlanFor(db *core.DB, kr int) *core.Plan {
+	j1Conds := predicate.Conjunction{predicate.C("L", "k", predicate.EQ, "R", "k")}
+	j2Conds := predicate.Conjunction{predicate.C("casc-j1", "L.k", predicate.EQ, "S", "k")}
+	return &core.Plan{
+		Query: &query.Query{Name: "casc"},
+		Jobs: []core.PlannedJob{
+			{
+				Name: "casc-j1", Conds: j1Conds, RelOrder: []string{"L", "R"},
+				Kind: core.KindHashEqui, Reducers: kr, Units: kr,
+				Skew: core.SkewPlanFor(db.Catalog, core.KindHashEqui, j1Conds, kr, 0),
+			},
+			{
+				Name: "casc-j2", Conds: j2Conds, RelOrder: []string{"casc-j1", "S"},
+				Kind: core.KindHashEqui, Reducers: kr, Units: kr,
+			},
+		},
+	}
+}
+
+func zipfBenchRel(name string, n int, s float64, domain int, rng *rand.Rand) *relation.Relation {
+	r := relation.New(name, relation.MustSchema(
+		relation.Column{Name: "k", Kind: relation.KindInt},
+		relation.Column{Name: "v", Kind: relation.KindInt},
+	))
+	z := rand.NewZipf(rng, s, 1, uint64(domain-1))
+	for i := 0; i < n; i++ {
+		r.MustAppend(relation.Tuple{
+			relation.Int(int64(z.Uint64())),
+			relation.Int(int64(rng.Intn(1000))),
+		})
+	}
+	return r
+}
+
+func uniformBenchRel(name string, n, domain int, rng *rand.Rand) *relation.Relation {
+	r := relation.New(name, relation.MustSchema(
+		relation.Column{Name: "k", Kind: relation.KindInt},
+		relation.Column{Name: "v", Kind: relation.KindInt},
+	))
+	for i := 0; i < n; i++ {
+		r.MustAppend(relation.Tuple{
+			relation.Int(int64(rng.Intn(domain))),
+			relation.Int(int64(rng.Intn(1000))),
+		})
+	}
+	return r
+}
+
 // AblationKR compares the model-selected reducer count against Hive's
 // max-reducers default on a theta join (the Fig. 6 inflection point in
 // action).

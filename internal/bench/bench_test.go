@@ -255,3 +255,22 @@ func TestAblationSchedulingShape(t *testing.T) {
 		}
 	}
 }
+
+func TestAblationFeedbackShape(t *testing.T) {
+	tbl, err := quickSuite().AblationFeedback()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("quick feedback ablation produced %d rows, want 2", len(tbl.Rows))
+	}
+	static, feedback := tbl.Rows[0], tbl.Rows[1]
+	sBal := parseSeconds(t, static[2])
+	fBal := parseSeconds(t, feedback[2])
+	if fBal*1.5 > sBal {
+		t.Errorf("feedback balance %v not materially better than static %v", fBal, sBal)
+	}
+	if static[5] != "0" || feedback[5] == "0" {
+		t.Errorf("replanned counts: static %s feedback %s", static[5], feedback[5])
+	}
+}

@@ -81,6 +81,7 @@ func (s *Suite) Tables(id string) ([]*Table, error) {
 		var out []*Table
 		for _, f := range []func() (*Table, error){
 			s.AblationPartition, s.AblationSingleVsCascade, s.AblationKR, s.AblationScheduling,
+			s.AblationFeedback,
 		} {
 			t, err := f()
 			if err != nil {

@@ -368,12 +368,12 @@ func TestMergeOutputs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	merged, count, err := MergeAll("m3", []*relation.Relation{r1.Output, r2.Output})
+	merged, steps, err := MergeAll("m3", []*relation.Relation{r1.Output, r2.Output})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if count != 1 {
-		t.Errorf("merge count = %d", count)
+	if len(steps) != 1 {
+		t.Errorf("merge count = %d", len(steps))
 	}
 	got, wantRS := resultSet(merged), resultSet(want)
 	if !wantRS.Equal(got) {

@@ -18,16 +18,24 @@ import (
 type ExecResult struct {
 	Output *relation.Relation
 	// Makespan is the measured evaluation time: the job set re-timed
-	// with simulated durations plus the merge chain (Fig. 4 layout).
+	// with simulated durations plus the merge tree (Fig. 4 layout).
 	Makespan   float64
 	JobMetrics map[string]mr.Metrics
 	MergeCount int
+	// MergeTime is the merge component of Makespan, charged per
+	// MergeAll's actual pair-merge tree (one MergeCost per executed
+	// step over that step's real operand sizes).
+	MergeTime float64
 	// ShuffleBytes totals network copy volume across jobs.
 	ShuffleBytes int64
 	// MaxConcurrentJobs is the high-water mark of planned jobs in
 	// flight at once: 1 when everything serialised, >= 2 when the
 	// placement overlapped independent jobs on the K_P units.
 	MaxConcurrentJobs int
+	// Replanned lists (sorted) the jobs whose reducer count or skew
+	// handling was re-derived at dispatch time from measured upstream
+	// statistics by the runtime feedback loop (see replan.go).
+	Replanned []string
 }
 
 // Execute runs the plan under a background context; see ExecuteContext.
@@ -92,6 +100,21 @@ func (pl *Planner) ExecuteContext(ctx context.Context, plan *Plan, db *DB) (*Exe
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// consumed[name] marks a planned job whose output another planned
+	// job reads (a cascade intermediate): the only jobs worth measuring
+	// for feedback re-planning, and the outputs that must not re-enter
+	// the final merge (their consumer's output subsumes them).
+	consumed := make(map[string]bool, len(plan.Jobs))
+	for i := range plan.Jobs {
+		for _, rel := range plan.Jobs[i].RelOrder {
+			if _, ok := jobIdx[rel]; ok {
+				consumed[rel] = true
+			}
+		}
+	}
+	fb := newFeedback(pl, db)
+	replanned := make(map[string]bool)
+
 	type doneMsg struct {
 		idx   int
 		units int
@@ -132,7 +155,18 @@ func (pl *Planner) ExecuteContext(ctx context.Context, plan *Plan, db *DB) (*Exe
 					continue
 				}
 				pj := &plan.Jobs[s.idx]
-				job, cfg, err := pl.buildPlannedJob(pj, db, produced)
+				// Runtime feedback: when the job reads produced
+				// intermediates, re-derive its reducer count and skew
+				// handling from their measured statistics (the shared
+				// plan is never mutated — replan returns a copy).
+				runJob := pj
+				if !pl.Opts.DisableReplan {
+					if rj, ok := fb.replan(pj, produced); ok {
+						runJob = rj
+						replanned[pj.Name] = true
+					}
+				}
+				job, cfg, err := pl.buildPlannedJob(runJob, db, produced)
 				if err != nil {
 					firstErr = err
 					cancel()
@@ -171,6 +205,11 @@ func (pl *Planner) ExecuteContext(ctx context.Context, plan *Plan, db *DB) (*Exe
 		pj := &plan.Jobs[msg.idx]
 		completed[pj.Name] = true
 		produced[pj.Name] = msg.res.Output
+		// Measure only outputs a downstream job will actually read —
+		// the statistics pass is O(output) and pointless otherwise.
+		if !pl.Opts.DisableReplan && consumed[pj.Name] {
+			fb.observe(pj.Name, msg.res)
+		}
 		nDone++
 	}
 	if firstErr != nil {
@@ -183,7 +222,6 @@ func (pl *Planner) ExecuteContext(ctx context.Context, plan *Plan, db *DB) (*Exe
 		MaxConcurrentJobs: maxInflight,
 	}
 	outputs := make([]*relation.Relation, len(plan.Jobs))
-	outBytes := make([]int64, len(plan.Jobs))
 	tasks := make([]schedule.Task, 0, len(plan.Jobs))
 	depsOf := make(map[string][]string, len(order))
 	for _, s := range order {
@@ -195,7 +233,6 @@ func (pl *Planner) ExecuteContext(ctx context.Context, plan *Plan, db *DB) (*Exe
 		res.JobMetrics[pj.Name] = run.Metrics
 		res.ShuffleBytes += run.Metrics.ShuffleBytes
 		outputs[i] = run.Output
-		outBytes[i] = run.Metrics.OutputBytes
 		// Measured duration at the allotted units, scaled for the
 		// re-scheduling pass.
 		units := pj.effectiveUnits()
@@ -214,16 +251,34 @@ func (pl *Planner) ExecuteContext(ctx context.Context, plan *Plan, db *DB) (*Exe
 	if err != nil {
 		return nil, err
 	}
-	final, mergeCount, err := MergeAll(plan.Query.Name, outputs)
+	// Merge the job outputs that are genuine partial results: a
+	// consumed intermediate is already folded into its consumer's
+	// output — it carries prefixed, not base-relation, rid columns and
+	// must not re-enter the merge.
+	var mergeInputs []*relation.Relation
+	for i := range plan.Jobs {
+		if !consumed[plan.Jobs[i].Name] {
+			mergeInputs = append(mergeInputs, outputs[i])
+		}
+	}
+	final, steps, err := MergeAll(plan.Query.Name, mergeInputs)
 	if err != nil {
 		return nil, err
 	}
+	// Charge the merge off the tree MergeAll actually performed, step
+	// by step over the real operand sizes — matching the planner's
+	// estimateMergeSteps policy rather than a plan-order chain.
 	var mergeTime float64
-	for i := 1; i < len(outputs); i++ {
-		mergeTime += pl.Params.MergeCost(outBytes[i-1], outBytes[i])
+	for _, st := range steps {
+		mergeTime += pl.Params.MergeCost(st.LeftBytes, st.RightBytes)
 	}
+	for name := range replanned {
+		res.Replanned = append(res.Replanned, name)
+	}
+	sort.Strings(res.Replanned)
 	res.Output = final
-	res.MergeCount = mergeCount
+	res.MergeCount = len(steps)
+	res.MergeTime = mergeTime
 	res.Makespan = sched.Makespan + mergeTime
 	return res, nil
 }
@@ -785,10 +840,11 @@ func BuildHashEquiJob(name string, left, right *relation.Relation, conds predica
 // when the right side is hot), per SharesSkew. Reducer-side logic is
 // unchanged — each sub-reducer joins its fragment against the
 // replicated side, and fragments are disjoint, so the output is the
-// same set of tuples with the hot key's work spread evenly. Splitting
-// applies to single-condition (single-column) keys; composite keys
-// fall back to plain hashing. A nil plan reproduces BuildHashEquiJob
-// exactly.
+// same set of tuples with the hot key's work spread evenly.
+// Single-condition keys take their splits from the plan's per-column
+// reports; composite (multi-condition) keys from its joint HotGroups,
+// hashed with the same composite key the map side shuffles on. A nil
+// plan reproduces BuildHashEquiJob exactly.
 func BuildHashEquiJobSkew(name string, left, right *relation.Relation, conds predicate.Conjunction, kr int, plan *skew.JobPlan) (*mr.Job, error) {
 	if !AllEquiSamePair(conds) {
 		return nil, fmt.Errorf("core: conditions %s are not a two-relation equi conjunction", conds)
@@ -826,32 +882,69 @@ func BuildHashEquiJobSkew(name string, left, right *relation.Relation, conds pre
 		return h.Sum64()
 	}
 	var partitioner mr.Partitioner
-	if plan != nil && len(oriented) == 1 {
-		oc := oriented[0]
-		// A hot value's shuffle key: the same hash the map side emits.
-		valueKey := func(v relation.Value, off float64) uint64 {
+	if plan != nil {
+		// A hot value combination's shuffle key: the same composite
+		// hash the map side emits (hashKey over the condition-ordered
+		// columns with their offsets applied).
+		groupKey := func(vals []relation.Value, cols []keyCol) uint64 {
 			h := fnv.New64a()
-			h.Write([]byte(v.Add(off).String()))
-			h.Write([]byte{0x1f})
+			for i, kc := range cols {
+				h.Write([]byte(vals[i].Add(kc.off).String()))
+				h.Write([]byte{0x1f})
+			}
 			return h.Sum64()
 		}
 		type frac2 struct{ l, r float64 }
 		hot := make(map[uint64]frac2)
-		for _, hk := range plan.Hot(oc.Left, oc.LeftColumn) {
-			k := valueKey(hk.Value, oc.LeftOffset)
-			f := hot[k]
-			if hk.Frac > f.l {
-				f.l = hk.Frac
+		if len(oriented) == 1 {
+			oc := oriented[0]
+			for _, hk := range plan.Hot(oc.Left, oc.LeftColumn) {
+				k := groupKey([]relation.Value{hk.Value}, lCols)
+				f := hot[k]
+				if hk.Frac > f.l {
+					f.l = hk.Frac
+				}
+				hot[k] = f
 			}
-			hot[k] = f
-		}
-		for _, hk := range plan.Hot(oc.Right, oc.RightColumn) {
-			k := valueKey(hk.Value, oc.RightOffset)
-			f := hot[k]
-			if hk.Frac > f.r {
-				f.r = hk.Frac
+			for _, hk := range plan.Hot(oc.Right, oc.RightColumn) {
+				k := groupKey([]relation.Value{hk.Value}, rCols)
+				f := hot[k]
+				if hk.Frac > f.r {
+					f.r = hk.Frac
+				}
+				hot[k] = f
 			}
-			hot[k] = f
+		} else {
+			// Composite key: joint heavy hitters per side, stored by
+			// the planner under the condition-ordered column vectors.
+			lNames := make([]string, len(oriented))
+			rNames := make([]string, len(oriented))
+			for i, oc := range oriented {
+				lNames[i] = oc.LeftColumn
+				rNames[i] = oc.RightColumn
+			}
+			for _, g := range plan.HotJoint(left.Name, lNames) {
+				if len(g.Values) != len(lCols) {
+					continue
+				}
+				k := groupKey(g.Values, lCols)
+				f := hot[k]
+				if g.Frac > f.l {
+					f.l = g.Frac
+				}
+				hot[k] = f
+			}
+			for _, g := range plan.HotJoint(right.Name, rNames) {
+				if len(g.Values) != len(rCols) {
+					continue
+				}
+				k := groupKey(g.Values, rCols)
+				f := hot[k]
+				if g.Frac > f.r {
+					f.r = g.Frac
+				}
+				hot[k] = f
+			}
 		}
 		splits := make(map[uint64]skew.Split)
 		for k, f := range hot {

@@ -105,12 +105,12 @@ func TestFig4MergePlan(t *testing.T) {
 	ej := runJob("ej", []string{"R3", "R4"}, predicate.Conjunction{q.Conditions[2]})
 	ek := runJob("ek", []string{"R4", "R5"}, predicate.Conjunction{q.Conditions[3]})
 
-	merged, count, err := MergeAll("fig4", []*relation.Relation{ei, ej, ek})
+	merged, steps, err := MergeAll("fig4", []*relation.Relation{ei, ej, ek})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if count != 2 {
-		t.Errorf("merge steps = %d, want 2 (as in Fig. 4)", count)
+	if len(steps) != 2 {
+		t.Errorf("merge steps = %d, want 2 (as in Fig. 4)", len(steps))
 	}
 	got, wantRS := resultSet(merged), resultSet(want)
 	if !wantRS.Equal(got) {

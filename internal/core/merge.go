@@ -129,49 +129,148 @@ func MergeOutputs(name string, left, right *relation.Relation) (*relation.Relati
 	return out, nil
 }
 
-// MergeAll combines every job output into the final query result,
-// repeatedly merging the pair of partial results sharing the most
-// relations (ties: smaller combined cardinality first, then name).
-// Section 3.2's connectivity argument guarantees a sharing pair always
-// exists for a sufficient T over a connected join graph.
-func MergeAll(name string, outputs []*relation.Relation) (*relation.Relation, int, error) {
-	if len(outputs) == 0 {
-		return nil, 0, fmt.Errorf("core: nothing to merge")
+// MergeStep records one pair-merge of the tree: the modeled byte
+// sizes of its two operands, in selection order. The executor charges
+// the measured merge makespan off these steps, and the planner's
+// estimate (estimateMergeSteps) walks the same selection policy, so
+// estimate and measurement price the same tree instead of the
+// plan-order chain they historically disagreed on.
+type MergeStep struct {
+	LeftBytes, RightBytes int64
+}
+
+// mergeOperand is the pair-selection view of one partial result:
+// which base relations its columns cover, its cardinality, and its
+// modeled bytes. MergeAll builds operands from real relations; the
+// planner's merge estimate builds them from candidate estimates, so
+// both sides walk the same tree-selection policy (pickMergePair).
+type mergeOperand struct {
+	rels  map[string]bool
+	card  int
+	bytes int64
+}
+
+func operandOf(r *relation.Relation) mergeOperand {
+	rels := make(map[string]bool)
+	for _, n := range relationsOfOutput(r) {
+		rels[n] = true
 	}
-	work := append([]*relation.Relation(nil), outputs...)
-	merges := 0
-	for len(work) > 1 {
-		bi, bj, bestShared := -1, -1, 0
-		bestCard := 0
-		for i := 0; i < len(work); i++ {
-			for j := i + 1; j < len(work); j++ {
-				s := len(sharedRelations(work[i], work[j]))
-				if s == 0 {
-					continue
-				}
-				card := work[i].Cardinality() + work[j].Cardinality()
-				if s > bestShared || (s == bestShared && (bi < 0 || card < bestCard)) {
-					bi, bj, bestShared, bestCard = i, j, s, card
-				}
+	return mergeOperand{rels: rels, card: r.Cardinality(), bytes: r.ModeledSize()}
+}
+
+func sharedCount(a, b map[string]bool) int {
+	n := 0
+	for k := range a {
+		if b[k] {
+			n++
+		}
+	}
+	return n
+}
+
+// pickMergePair returns the operand pair sharing the most relations
+// (ties: smaller combined cardinality first, then first in index
+// order), or ok=false when no pair shares a relation.
+func pickMergePair(ops []mergeOperand) (bi, bj int, ok bool) {
+	bi, bj = -1, -1
+	bestShared, bestCard := 0, 0
+	for i := 0; i < len(ops); i++ {
+		for j := i + 1; j < len(ops); j++ {
+			s := sharedCount(ops[i].rels, ops[j].rels)
+			if s == 0 {
+				continue
+			}
+			card := ops[i].card + ops[j].card
+			if s > bestShared || (s == bestShared && (bi < 0 || card < bestCard)) {
+				bi, bj, bestShared, bestCard = i, j, s, card
 			}
 		}
-		if bi < 0 {
-			return nil, merges, fmt.Errorf("core: merge stalled; no pair of outputs shares a relation")
+	}
+	return bi, bj, bi >= 0
+}
+
+// MergeAll combines every job output into the final query result,
+// repeatedly merging the pair of partial results sharing the most
+// relations (pickMergePair). Section 3.2's connectivity argument
+// guarantees a sharing pair always exists for a sufficient T over a
+// connected join graph. The returned steps record the operand sizes
+// of every merge actually performed, for tree-true cost accounting:
+// a merged node re-enters later steps priced at the sum of its
+// constituents — the ID payload it carries forward, per the paper's
+// "only output keys or data IDs involved" merge argument — not at its
+// materialized width, mirroring estimateMergeSteps' recurrence.
+func MergeAll(name string, outputs []*relation.Relation) (*relation.Relation, []MergeStep, error) {
+	if len(outputs) == 0 {
+		return nil, nil, fmt.Errorf("core: nothing to merge")
+	}
+	work := append([]*relation.Relation(nil), outputs...)
+	ops := make([]mergeOperand, len(work))
+	for i, r := range work {
+		ops[i] = operandOf(r)
+	}
+	var steps []MergeStep
+	for len(work) > 1 {
+		bi, bj, ok := pickMergePair(ops)
+		if !ok {
+			return nil, steps, fmt.Errorf("core: merge stalled; no pair of outputs shares a relation")
 		}
 		stepName := name
 		if len(work) > 2 {
-			stepName = fmt.Sprintf("%s~m%d", name, merges)
+			stepName = fmt.Sprintf("%s~m%d", name, len(steps))
 		}
+		steps = append(steps, MergeStep{LeftBytes: ops[bi].bytes, RightBytes: ops[bj].bytes})
 		merged, err := MergeOutputs(stepName, work[bi], work[bj])
 		if err != nil {
-			return nil, merges, err
+			return nil, steps, err
 		}
-		merges++
+		mergedOp := mergeOperand{
+			rels:  operandOf(merged).rels,
+			card:  merged.Cardinality(),
+			bytes: ops[bi].bytes + ops[bj].bytes,
+		}
 		// Remove j first (j > i), then i; append merged.
 		work = append(work[:bj], work[bj+1:]...)
 		work = append(work[:bi], work[bi+1:]...)
 		work = append(work, merged)
+		ops = append(ops[:bj], ops[bj+1:]...)
+		ops = append(ops[:bi], ops[bi+1:]...)
+		ops = append(ops, mergedOp)
 	}
 	work[0].Name = name
-	return work[0], merges, nil
+	return work[0], steps, nil
+}
+
+// estimateMergeSteps predicts MergeAll's tree on estimated operands:
+// the same pair selection, with the merged operand approximated as the
+// relation-set union carrying the summed bytes and the smaller
+// cardinality (an ID-keyed merge keeps at most the matching rows of
+// either side). Stops early if no pair shares a relation — execution
+// would fail there too.
+func estimateMergeSteps(ops []mergeOperand) []MergeStep {
+	ops = append([]mergeOperand(nil), ops...)
+	var steps []MergeStep
+	for len(ops) > 1 {
+		bi, bj, ok := pickMergePair(ops)
+		if !ok {
+			return steps
+		}
+		l, r := ops[bi], ops[bj]
+		steps = append(steps, MergeStep{LeftBytes: l.bytes, RightBytes: r.bytes})
+		union := make(map[string]bool, len(l.rels)+len(r.rels))
+		for k := range l.rels {
+			union[k] = true
+		}
+		for k := range r.rels {
+			union[k] = true
+		}
+		card := l.card
+		if r.card < card {
+			card = r.card
+		}
+		merged := mergeOperand{rels: union, card: card, bytes: l.bytes + r.bytes}
+		ops = append(ops[:bj], ops[bj+1:]...)
+		ops = append(ops[:bi], ops[bi+1:]...)
+		ops = append(ops, merged)
+	}
+	return steps
 }

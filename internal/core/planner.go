@@ -42,6 +42,12 @@ type PlanOptions struct {
 	// reverting to the constant sigma fudge factors and plain hash
 	// partitioning (the pre-skew baseline, kept for ablations).
 	DisableSkew bool
+	// DisableReplan turns off the runtime feedback loop: jobs that
+	// consume produced intermediates keep the reducer count and skew
+	// handling the static plan chose instead of re-deriving them from
+	// measured statistics at dispatch time (see replan.go; kept for
+	// the static-vs-feedback ablation).
+	DisableReplan bool
 }
 
 // skewThreshold resolves the effective hot-key trigger.
@@ -126,6 +132,7 @@ type candidate struct {
 	bestK    int
 	bestT    float64
 	outBytes int64
+	estRows  float64
 }
 
 // Plan runs the full §5 pipeline: construct G'_JP with the cost model,
@@ -227,52 +234,19 @@ func (pl *Planner) costEdge(q *query.Query, g *query.JoinGraph, db *DB, edgeIDs 
 		kind = KindShareGrid
 	}
 	orderedRels := make([]*relation.Relation, m)
+	relByName := make(map[string]*relation.Relation, m)
 	for i, name := range relOrder {
 		r, err := db.Relation(name)
 		if err != nil {
 			return nil, err
 		}
 		orderedRels[i] = r
+		relByName[name] = r
 	}
-	var inputBytes int64
-	var mapTasks int
-	var rowBytes float64
-	cardProd := 1.0
-	maxMult := 1.0
-	blockBytes := int64(pl.Config.BlockSizeMB) * 1e6
-	for _, name := range relOrder {
-		ts, err := db.Catalog.Stats(name)
-		if err != nil {
-			return nil, err
-		}
-		inputBytes += ts.ModeledSize
-		mt := int((ts.ModeledSize + blockBytes - 1) / blockBytes)
-		if mt < 1 {
-			mt = 1
-		}
-		mapTasks += mt
-		rowBytes += ts.AvgTuple
-		cardProd *= math.Max(1, float64(ts.Cardinality))
-		r, err := db.Relation(name)
-		if err != nil {
-			return nil, err
-		}
-		if r.VolumeMultiplier > maxMult {
-			maxMult = r.VolumeMultiplier
-		}
-	}
-	sel, err := predicate.EstimateConjunction(conds, db.Catalog)
+	inputBytes, mapTasks, outBytes, estRows, err := pl.sizeJob(db.Catalog, relOrder, conds,
+		func(name string) float64 { return relByName[name].VolumeMultiplier })
 	if err != nil {
 		return nil, err
-	}
-	estRows := cardProd * sel
-	outBytes := int64(estRows * rowBytes * maxMult)
-	// Mirror the engine's output-volume cap so β and the merge-cost
-	// estimates see the same volumes execution will produce.
-	if ratio := pl.Config.OutputCapRatio; ratio > 0 {
-		if cap := int64(ratio * float64(inputBytes)); outBytes > cap {
-			outBytes = cap
-		}
 	}
 	// Reducer skew: the Hilbert cube balances by construction
 	// (Theorem 2: tuples route by salted-hash global IDs, immune to
@@ -286,74 +260,19 @@ func (pl *Planner) costEdge(q *query.Query, g *query.JoinGraph, db *DB, edgeIDs 
 	if !pl.Opts.DisableSkew && kind != KindHilbertTheta {
 		pmax, skewKnown = maxJoinHotFrac(db.Catalog, conds, kind)
 	}
-	sigmaFracAt := func(kind JobKind, parallelism int) float64 {
-		switch kind {
-		case KindHashEqui:
-			if skewKnown {
-				return skew.SigmaFrac(pmax, parallelism, pl.skewThreshold())
-			}
-			return 0.3 // key-value hash distribution skews
-		case KindShareGrid:
-			if skewKnown {
-				return skew.SigmaFrac(pmax, parallelism, pl.skewThreshold())
-			}
-			return 0.15 // attribute-class hashing, moderate skew
-		default:
-			return 0.08
-		}
-	}
-
-	profile := make([]float64, pl.KP)
-	bestK, bestT := 1, math.Inf(1)
-	for k := 1; k <= pl.KP; k++ {
-		var shuffle float64
-		effectiveN := k
-		switch kind {
-		case KindHashEqui:
-			shuffle = float64(inputBytes)
-		case KindShareGrid:
-			rep, err := ReplicationFactor(conds, orderedRels, k)
-			if err != nil {
-				return nil, err
-			}
-			shuffle = float64(inputBytes) * rep
-			grid, err := ShareGridSize(conds, orderedRels, k)
-			if err != nil {
-				return nil, err
-			}
-			effectiveN = grid
-		default:
-			// Hilbert duplication: each tuple is copied ~k^((m-1)/m)
-			// times (Eq. 9's fair-duplication factor).
-			dup := math.Pow(float64(k), float64(m-1)/float64(m))
-			shuffle = float64(inputBytes) * dup
-		}
-		alpha := 1.0
-		if inputBytes > 0 {
-			alpha = shuffle / float64(inputBytes)
-		}
-		beta := 0.0
-		if shuffle > 0 {
-			beta = float64(outBytes) / shuffle
-		}
-		prof := cost.JobProfile{
-			InputBytes: inputBytes,
-			MapTasks:   mapTasks,
-			// k allotted units run map AND reduce tasks (§3.1), so the
-			// map wave width shrinks with the allotment too.
-			MapSlots: minInt(pl.Config.MapSlots, k),
-			Alpha:    alpha,
-			Beta:     beta,
-			Sigma:    sigmaFracAt(kind, effectiveN) * shuffle / float64(effectiveN),
-		}
-		est, err := pl.Params.Estimate(prof, effectiveN)
-		if err != nil {
-			return nil, err
-		}
-		profile[k-1] = est.T
-		if est.T < bestT {
-			bestT, bestK = est.T, k
-		}
+	profile, bestK, bestT, err := pl.sweepReducers(costSweepInputs{
+		kind:       kind,
+		inputBytes: inputBytes,
+		mapTasks:   mapTasks,
+		outBytes:   outBytes,
+		numRels:    m,
+		pmax:       pmax,
+		skewKnown:  skewKnown,
+		conds:      conds,
+		rels:       orderedRels,
+	}, pl.KP)
+	if err != nil {
+		return nil, err
 	}
 	return &candidate{
 		conds:    conds,
@@ -363,7 +282,147 @@ func (pl *Planner) costEdge(q *query.Query, g *query.JoinGraph, db *DB, edgeIDs 
 		bestK:    bestK,
 		bestT:    bestT,
 		outBytes: outBytes,
+		estRows:  estRows,
 	}, nil
+}
+
+// sizeJob accumulates the cost model's input quantities for a job
+// over the given catalog: total modeled input, map task count, the
+// selectivity-estimated output volume (after mirroring the engine's
+// output cap, so β and the merge estimates see the volumes execution
+// will produce), and the estimated result rows. multOf resolves a
+// relation's VolumeMultiplier — from base relations at plan time,
+// from produced intermediates at replan time — so static costing and
+// runtime re-planning share one size model.
+func (pl *Planner) sizeJob(cat *relation.Catalog, relOrder []string, conds predicate.Conjunction, multOf func(string) float64) (inputBytes int64, mapTasks int, outBytes int64, estRows float64, err error) {
+	blockBytes := int64(pl.Config.BlockSizeMB) * 1e6
+	var rowBytes float64
+	cardProd := 1.0
+	maxMult := 1.0
+	for _, name := range relOrder {
+		ts, err := cat.Stats(name)
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		inputBytes += ts.ModeledSize
+		mt := int((ts.ModeledSize + blockBytes - 1) / blockBytes)
+		if mt < 1 {
+			mt = 1
+		}
+		mapTasks += mt
+		rowBytes += ts.AvgTuple
+		cardProd *= math.Max(1, float64(ts.Cardinality))
+		if m := multOf(name); m > maxMult {
+			maxMult = m
+		}
+	}
+	sel, err := predicate.EstimateConjunction(conds, cat)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	estRows = cardProd * sel
+	outBytes = int64(estRows * rowBytes * maxMult)
+	if ratio := pl.Config.OutputCapRatio; ratio > 0 {
+		if cap := int64(ratio * float64(inputBytes)); outBytes > cap {
+			outBytes = cap
+		}
+	}
+	return inputBytes, mapTasks, outBytes, estRows, nil
+}
+
+// costSweepInputs carries the size quantities the Eq. 1–6 reducer
+// sweep consumes — produced from catalog statistics by costEdge and
+// from measured intermediate statistics by the runtime replan step,
+// so static and feedback planning share one cost path.
+type costSweepInputs struct {
+	kind       JobKind
+	inputBytes int64
+	mapTasks   int
+	outBytes   int64
+	numRels    int     // m, for the Hilbert duplication exponent
+	pmax       float64 // hottest join-key fraction, when measured
+	skewKnown  bool
+	// Share-grid geometry hooks; only consulted for KindShareGrid.
+	conds predicate.Conjunction
+	rels  []*relation.Relation
+}
+
+// sweepReducers evaluates the T(k) profile for k = 1..maxK and
+// returns it with the argmin.
+func (pl *Planner) sweepReducers(in costSweepInputs, maxK int) ([]float64, int, float64, error) {
+	profile := make([]float64, maxK)
+	bestK, bestT := 1, math.Inf(1)
+	for k := 1; k <= maxK; k++ {
+		var shuffle float64
+		effectiveN := k
+		switch in.kind {
+		case KindHashEqui:
+			shuffle = float64(in.inputBytes)
+		case KindShareGrid:
+			rep, err := ReplicationFactor(in.conds, in.rels, k)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			shuffle = float64(in.inputBytes) * rep
+			grid, err := ShareGridSize(in.conds, in.rels, k)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			effectiveN = grid
+		default:
+			// Hilbert duplication: each tuple is copied ~k^((m-1)/m)
+			// times (Eq. 9's fair-duplication factor).
+			dup := math.Pow(float64(k), float64(in.numRels-1)/float64(in.numRels))
+			shuffle = float64(in.inputBytes) * dup
+		}
+		alpha := 1.0
+		if in.inputBytes > 0 {
+			alpha = shuffle / float64(in.inputBytes)
+		}
+		beta := 0.0
+		if shuffle > 0 {
+			beta = float64(in.outBytes) / shuffle
+		}
+		prof := cost.JobProfile{
+			InputBytes: in.inputBytes,
+			MapTasks:   in.mapTasks,
+			// k allotted units run map AND reduce tasks (§3.1), so the
+			// map wave width shrinks with the allotment too.
+			MapSlots: minInt(pl.Config.MapSlots, k),
+			Alpha:    alpha,
+			Beta:     beta,
+			Sigma:    pl.sigmaFracFor(in.kind, effectiveN, in.pmax, in.skewKnown) * shuffle / float64(effectiveN),
+		}
+		est, err := pl.Params.Estimate(prof, effectiveN)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		profile[k-1] = est.T
+		if est.T < bestT {
+			bestT, bestK = est.T, k
+		}
+	}
+	return profile, bestK, bestT, nil
+}
+
+// sigmaFracFor resolves the reducer-input variation coefficient: the
+// measured-skew estimate when a heavy-hitter report exists, else the
+// historical per-kind constants.
+func (pl *Planner) sigmaFracFor(kind JobKind, parallelism int, pmax float64, known bool) float64 {
+	switch kind {
+	case KindHashEqui:
+		if known {
+			return skew.SigmaFrac(pmax, parallelism, pl.skewThreshold())
+		}
+		return 0.3 // key-value hash distribution skews
+	case KindShareGrid:
+		if known {
+			return skew.SigmaFrac(pmax, parallelism, pl.skewThreshold())
+		}
+		return 0.15 // attribute-class hashing, moderate skew
+	default:
+		return 0.08
+	}
 }
 
 func minInt(a, b int) int {
@@ -411,8 +470,9 @@ func maxJoinHotFrac(cat *relation.Catalog, conds predicate.Conjunction, kind Job
 // SkewPlanFor consults the catalog's heavy-hitter reports and returns
 // the hot-key handling a job of this kind should run with, or nil when
 // no join-key value is hot enough at the given reducer count (or the
-// kind is skew-immune). Hash-equi jobs currently split only
-// single-condition (single-column) keys; share-grid jobs refine any
+// kind is skew-immune). Hash-equi jobs split single-column keys from
+// the per-column reports and composite (multi-condition) keys from
+// joint detection over the column set; share-grid jobs refine any
 // grid dimension whose class columns carry hot keys.
 func SkewPlanFor(cat *relation.Catalog, kind JobKind, conds predicate.Conjunction, reducers int, threshold float64) *skew.JobPlan {
 	if cat == nil || reducers < 2 {
@@ -424,7 +484,7 @@ func SkewPlanFor(cat *relation.Catalog, kind JobKind, conds predicate.Conjunctio
 	switch kind {
 	case KindHashEqui:
 		if len(conds) != 1 {
-			return nil
+			return compositeSkewPlan(cat, conds, reducers, threshold)
 		}
 	case KindShareGrid:
 	default:
@@ -457,12 +517,60 @@ func SkewPlanFor(cat *relation.Catalog, kind JobKind, conds predicate.Conjunctio
 	return plan
 }
 
+// compositeSkewPlan is SkewPlanFor's multi-condition hash-equi path:
+// per SharesSkew, what overloads a reducer under a composite key is a
+// hot value COMBINATION, which per-column reports cannot see (two
+// individually near-uniform columns can still share one dominant
+// pair). Each side's column vector — in condition order, the order
+// the operator hashes them — runs joint heavy-hitter detection over
+// the catalog's retained sample (exactly, when the sample holds the
+// whole relation), and the resulting HotGroups are stored on the
+// plan for BuildHashEquiJobSkew to derive splits from the composite
+// key hash it already shuffles on.
+func compositeSkewPlan(cat *relation.Catalog, conds predicate.Conjunction, reducers int, threshold float64) *skew.JobPlan {
+	if !AllEquiSamePair(conds) {
+		return nil
+	}
+	rels := conds.Relations()
+	cols := make(map[string][]string, 2)
+	for _, c := range conds {
+		oc := c
+		if oc.Left != rels[0] {
+			oc = c.Reversed()
+		}
+		if oc.Left != rels[0] || oc.Right != rels[1] {
+			return nil
+		}
+		cols[rels[0]] = append(cols[rels[0]], oc.LeftColumn)
+		cols[rels[1]] = append(cols[rels[1]], oc.RightColumn)
+	}
+	plan := skew.NewJobPlan(threshold)
+	hotEnough := false
+	for _, rel := range rels {
+		ts, err := cat.Stats(rel)
+		if err != nil {
+			continue
+		}
+		hot := skew.JointHotKeys(ts, nil, cols[rel], skew.DefaultOptions())
+		if len(hot) == 0 {
+			continue
+		}
+		plan.AddJoint(rel, cols[rel], hot)
+		if hot[0].Frac*float64(reducers) > threshold {
+			hotEnough = true
+		}
+	}
+	if !hotEnough {
+		return nil
+	}
+	return plan
+}
+
 // scheduleCover turns one sufficient cover into a scheduled plan.
 func (pl *Planner) scheduleCover(q *query.Query, jp *joinpath.Graph, cands map[string]*candidate, cover []int, db *DB) (*Plan, error) {
 	var jobs []PlannedJob
 	var tasks []schedule.Task
-	var mergeEst float64
-	var prevOut int64
+	var mergeOps []mergeOperand
 	for i, setID := range cover {
 		e := jp.Edges[setID]
 		c, ok := cands[keyOfIDs(e.EdgeIDs)]
@@ -481,10 +589,18 @@ func (pl *Planner) scheduleCover(q *query.Query, jp *joinpath.Graph, cands map[s
 			Profile:  append([]float64(nil), c.profile...),
 		})
 		tasks = append(tasks, schedule.Task{ID: name, Profile: c.profile})
-		if i > 0 {
-			mergeEst += pl.Params.MergeCost(prevOut, c.outBytes)
+		rels := make(map[string]bool, len(c.relOrder))
+		for _, r := range c.relOrder {
+			rels[r] = true
 		}
-		prevOut += c.outBytes
+		card := int(math.Min(c.estRows, float64(math.MaxInt32)))
+		mergeOps = append(mergeOps, mergeOperand{rels: rels, card: card, bytes: c.outBytes})
+	}
+	// Estimate the merge phase over the same pair-selection tree the
+	// executor's MergeAll will walk, rather than a plan-order chain.
+	var mergeEst float64
+	for _, st := range estimateMergeSteps(mergeOps) {
+		mergeEst += pl.Params.MergeCost(st.LeftBytes, st.RightBytes)
 	}
 	sched, err := schedule.Schedule(tasks, pl.KP)
 	if err != nil {

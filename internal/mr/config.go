@@ -71,7 +71,11 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors. Every field the engine or
+// the timers divide by (BlockSizeMB, TuplesPerMapTask, the device
+// rates, IoSortMB) must be positive; fields where zero means "use the
+// default" (MaxParallelWorkers, OutputCapRatio, IoSortFactor) reject
+// only negative values.
 func (c Config) Validate() error {
 	switch {
 	case c.MapSlots < 1:
@@ -84,6 +88,17 @@ func (c Config) Validate() error {
 		return errConfig("TuplesPerMapTask must be >= 1")
 	case c.BlockSizeMB < 1:
 		return errConfig("BlockSizeMB must be >= 1")
+	case c.IoSortMB < 1:
+		return errConfig("IoSortMB must be >= 1")
+	case c.IoSortFactor != 0 && c.IoSortFactor < 2:
+		// The timer falls back to its default for any factor below 2
+		// (a <2-way merge is meaningless); only an explicit 0 may ask
+		// for that fallback.
+		return errConfig("IoSortFactor must be 0 (default) or >= 2")
+	case c.MaxParallelWorkers < 0:
+		return errConfig("MaxParallelWorkers must be >= 0 (0 = NumCPU)")
+	case c.OutputCapRatio < 0:
+		return errConfig("OutputCapRatio must be >= 0 (0 disables the cap)")
 	}
 	return nil
 }

@@ -35,7 +35,12 @@ type Metrics struct {
 	CombinationsChecked int64
 
 	ReducerInputBytes []int64
-	MaxReducerInput   int64
+	// ReducerOutputBytes mirrors ReducerInputBytes on the output side:
+	// modeled bytes each reduce task emitted. Together with
+	// BalanceRatio these are the per-reducer observations the runtime
+	// feedback loop (core re-planning) consumes after a job completes.
+	ReducerOutputBytes []int64
+	MaxReducerInput    int64
 	// BalanceRatio is MaxReducerInput over the mean reducer input
 	// (ShuffleBytes / ReduceTasks): 1.0 is perfect balance, k means
 	// the straggler reducer carries k× its fair share. 0 when nothing
@@ -349,6 +354,7 @@ func Run(ctx context.Context, cfg Config, timer Timer, job *Job) (*Result, error
 			PairsEmitted:        pairsEmitted,
 			CombinationsChecked: combinations,
 			ReducerInputBytes:   reducerBytes,
+			ReducerOutputBytes:  reducerOutBytes,
 			MaxReducerInput:     maxRed,
 			BalanceRatio:        balance,
 			MapFailures:         totalMapFailures,

@@ -380,12 +380,33 @@ func TestConfigValidate(t *testing.T) {
 		func(c *Config) { c.DiskWriteMBps = -1 },
 		func(c *Config) { c.NetworkMBps = 0 },
 		func(c *Config) { c.TuplesPerMapTask = 0 },
+		func(c *Config) { c.TuplesPerMapTask = -7 },
 		func(c *Config) { c.BlockSizeMB = 0 },
+		func(c *Config) { c.BlockSizeMB = -64 },
+		func(c *Config) { c.IoSortMB = 0 },
+		func(c *Config) { c.IoSortFactor = -1 },
+		func(c *Config) { c.IoSortFactor = 1 }, // timer would silently coerce to default
+		func(c *Config) { c.MaxParallelWorkers = -1 },
+		func(c *Config) { c.OutputCapRatio = -0.5 },
 	} {
 		c := DefaultConfig()
 		mutate(&c)
 		if err := c.Validate(); err == nil {
 			t.Errorf("invalid config accepted: %+v", c)
+		}
+	}
+	// The engine divides by TuplesPerMapTask and the BlockSizeMB-derived
+	// block size: a non-positive value must surface as a config error
+	// from Run, not a runtime panic.
+	for _, mutate := range []func(*Config){
+		func(c *Config) { c.TuplesPerMapTask = 0 },
+		func(c *Config) { c.BlockSizeMB = -1 },
+	} {
+		c := DefaultConfig()
+		mutate(&c)
+		job := countJob(intsRelation("vreject", 1, 2, 3), 2)
+		if _, err := Run(context.Background(), c, nil, job); err == nil {
+			t.Errorf("Run accepted invalid config: %+v", c)
 		}
 	}
 }

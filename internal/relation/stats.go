@@ -234,6 +234,21 @@ func NewCatalog(rels []*Relation, sampleSize int, rng *rand.Rand) *Catalog {
 	return c
 }
 
+// WithOverlay returns a catalog view layering extra tables — e.g.
+// statistics measured from produced intermediates at runtime — over
+// this catalog. The receiver is not mutated; overlay entries shadow
+// base entries of the same name.
+func (c *Catalog) WithOverlay(extra map[string]*TableStats) *Catalog {
+	merged := make(map[string]*TableStats, len(c.Tables)+len(extra))
+	for k, v := range c.Tables {
+		merged[k] = v
+	}
+	for k, v := range extra {
+		merged[k] = v
+	}
+	return &Catalog{Tables: merged}
+}
+
 // Stats returns statistics for a relation name.
 func (c *Catalog) Stats(name string) (*TableStats, error) {
 	ts, ok := c.Tables[name]

@@ -84,6 +84,140 @@ func AnnotateTable(ts *relation.TableStats, r *relation.Relation, opts Options) 
 	}
 }
 
+// HotGroup is one joint heavy hitter over a column set: a value
+// combination estimated to carry at least MinFrac of the relation's
+// tuples. Values are ordered as the detection columns were given.
+type HotGroup struct {
+	Values []relation.Value
+	Count  int64   // estimated occurrences in the full relation
+	Frac   float64 // estimated fraction of tuples carrying Values
+}
+
+// JointHotKeys detects joint heavy hitters over the named columns of
+// ts — the composite-key analogue of AnnotateTable's per-column
+// report, computed on demand for the column sets the planner joins
+// on. Per-column reports cannot see composite skew: two individually
+// near-uniform columns can still share one dominant value combination
+// that overloads the reducer hashing their composite key.
+//
+// When r is non-nil with at most ExactThreshold tuples — or the
+// retained sample already holds the whole relation — combinations are
+// counted exactly; otherwise the Misra–Gries sketch runs over the
+// seeded sample rows, so the report is deterministic across runs
+// either way. Unknown column names yield nil.
+func JointHotKeys(ts *relation.TableStats, r *relation.Relation, cols []string, opts Options) []HotGroup {
+	opts = opts.withDefaults()
+	if ts == nil || len(cols) == 0 {
+		return nil
+	}
+	ords := make([]int, len(cols))
+	for i, name := range cols {
+		ords[i] = -1
+		for j, n := range ts.ColumnOrder() {
+			if n == name {
+				ords[i] = j
+				break
+			}
+		}
+		if ords[i] < 0 {
+			return nil
+		}
+	}
+	rows, exact := ts.SampleRows, len(ts.SampleRows) == ts.Cardinality
+	if r != nil && r.Cardinality() <= opts.ExactThreshold {
+		rows, exact = r.Tuples, true
+	}
+	if len(rows) == 0 || ts.Cardinality <= 0 {
+		return nil
+	}
+	var kb []byte
+	keyOf := func(t relation.Tuple) (string, bool) {
+		kb = kb[:0]
+		for _, ci := range ords {
+			if ci >= len(t) || t[ci].IsNull() {
+				return "", false
+			}
+			kb = append(kb, t[ci].String()...)
+			kb = append(kb, 0x1f)
+		}
+		return string(kb), true
+	}
+	valuesOf := func(t relation.Tuple) []relation.Value {
+		vs := make([]relation.Value, len(ords))
+		for i, ci := range ords {
+			vs[i] = t[ci]
+		}
+		return vs
+	}
+	type acc struct {
+		vs []relation.Value
+		n  int64
+	}
+	counts := make(map[string]*acc)
+	if exact {
+		for _, t := range rows {
+			k, ok := keyOf(t)
+			if !ok {
+				continue
+			}
+			if a, ok := counts[k]; ok {
+				a.n++
+			} else {
+				counts[k] = &acc{vs: valuesOf(t), n: 1}
+			}
+		}
+	} else {
+		sk := NewSketch(opts.SketchCapacity)
+		rep := make(map[string][]relation.Value, opts.SketchCapacity)
+		for _, t := range rows {
+			k, ok := keyOf(t)
+			if !ok {
+				continue
+			}
+			if _, seen := rep[k]; !seen {
+				rep[k] = valuesOf(t)
+			}
+			sk.Add(k)
+		}
+		for _, e := range sk.Entries() {
+			counts[e.Key] = &acc{vs: rep[e.Key], n: e.Count}
+		}
+	}
+	n := int64(len(rows))
+	var hot []HotGroup
+	for _, a := range counts {
+		frac := float64(a.n) / float64(n)
+		if frac < opts.MinFrac || a.n < 2 {
+			continue
+		}
+		est := a.n
+		if !exact {
+			est = int64(math.Round(frac * float64(ts.Cardinality)))
+		}
+		hot = append(hot, HotGroup{Values: a.vs, Count: est, Frac: frac})
+	}
+	sort.Slice(hot, func(i, j int) bool {
+		if hot[i].Count != hot[j].Count {
+			return hot[i].Count > hot[j].Count
+		}
+		return groupKeyString(hot[i].Values) < groupKeyString(hot[j].Values)
+	})
+	if len(hot) > opts.MaxKeys {
+		hot = hot[:opts.MaxKeys]
+	}
+	return hot
+}
+
+// groupKeyString is the canonical tie-break string of a value vector.
+func groupKeyString(vs []relation.Value) string {
+	var b []byte
+	for _, v := range vs {
+		b = append(b, v.String()...)
+		b = append(b, 0x1f)
+	}
+	return string(b)
+}
+
 // detectColumn finds the heavy hitters of column ci over rows. When
 // exact is false, rows are a uniform sample of a relation with `card`
 // tuples and counts are scaled up accordingly.

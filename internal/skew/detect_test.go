@@ -96,3 +96,89 @@ func TestAnnotateDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// compositeRel builds a relation with a hot (k1, k2) combination
+// carrying hotFrac of the tuples; the remaining tuples draw both key
+// columns uniformly.
+func compositeRel(name string, n int, hotFrac float64, seed int64) *relation.Relation {
+	r := relation.New(name, relation.MustSchema(
+		relation.Column{Name: "k1", Kind: relation.KindInt},
+		relation.Column{Name: "k2", Kind: relation.KindInt},
+		relation.Column{Name: "v", Kind: relation.KindInt},
+	))
+	rng := rand.New(rand.NewSource(seed))
+	hot := int(float64(n) * hotFrac)
+	for i := 0; i < n; i++ {
+		k1, k2 := int64(7), int64(7)
+		if i >= hot {
+			k1, k2 = int64(rng.Intn(50)), int64(rng.Intn(50))
+		}
+		r.MustAppend(relation.Tuple{
+			relation.Int(k1), relation.Int(k2), relation.Int(int64(rng.Intn(1000))),
+		})
+	}
+	return r
+}
+
+// TestJointHotKeysExact: the exact pass finds a hot value combination
+// with the right fraction, in the requested column order.
+func TestJointHotKeysExact(t *testing.T) {
+	r := compositeRel("C", 2000, 0.3, 11)
+	ts := relation.Analyze(r, 2000, rand.New(rand.NewSource(1)))
+	hot := JointHotKeys(ts, r, []string{"k1", "k2"}, DefaultOptions())
+	if len(hot) == 0 {
+		t.Fatal("no joint heavy hitter on a 30% combination")
+	}
+	top := hot[0]
+	if len(top.Values) != 2 || top.Values[0].String() != "7" || top.Values[1].String() != "7" {
+		t.Fatalf("top group = %v, want (7, 7)", top.Values)
+	}
+	if top.Frac < 0.25 || top.Frac > 0.35 {
+		t.Errorf("top group frac = %.3f, want ~0.3", top.Frac)
+	}
+	// Column order is preserved: asking (k2, k1) flips the vector.
+	flipped := JointHotKeys(ts, r, []string{"k2", "k1"}, DefaultOptions())
+	if len(flipped) == 0 || len(flipped[0].Values) != 2 {
+		t.Fatal("flipped column order lost the group")
+	}
+}
+
+// TestJointHotKeysSampled: the sketch-over-sample path recalls the
+// dominant combination with a close fraction estimate.
+func TestJointHotKeysSampled(t *testing.T) {
+	r := compositeRel("C", 20000, 0.25, 12)
+	ts := relation.Analyze(r, 800, rand.New(rand.NewSource(1)))
+	hot := JointHotKeys(ts, nil, []string{"k1", "k2"}, DefaultOptions())
+	if len(hot) == 0 {
+		t.Fatal("sampled pass missed a 25% combination")
+	}
+	if d := hot[0].Frac - 0.25; d > 0.08 || d < -0.08 {
+		t.Errorf("sampled frac = %.3f, want ~0.25", hot[0].Frac)
+	}
+	if hot[0].Count < 1000 {
+		t.Errorf("scaled count = %d, want O(5000)", hot[0].Count)
+	}
+}
+
+// TestJointHotKeysUnknownColumn: unknown names yield nil rather than
+// a bogus report.
+func TestJointHotKeysUnknownColumn(t *testing.T) {
+	r := compositeRel("C", 100, 0.5, 13)
+	ts := relation.Analyze(r, 100, rand.New(rand.NewSource(1)))
+	if hot := JointHotKeys(ts, r, []string{"k1", "nope"}, DefaultOptions()); hot != nil {
+		t.Errorf("unknown column produced %v", hot)
+	}
+	if hot := JointHotKeys(ts, r, nil, DefaultOptions()); hot != nil {
+		t.Errorf("empty column set produced %v", hot)
+	}
+}
+
+// TestJointHotKeysUniform: a relation without a dominant combination
+// reports nothing.
+func TestJointHotKeysUniform(t *testing.T) {
+	r := compositeRel("U", 2000, 0, 14) // all-uniform keys
+	ts := relation.Analyze(r, 2000, rand.New(rand.NewSource(1)))
+	if hot := JointHotKeys(ts, r, []string{"k1", "k2"}, DefaultOptions()); len(hot) != 0 {
+		t.Errorf("uniform data produced joint heavy hitters: %v", hot)
+	}
+}

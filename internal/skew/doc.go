@@ -16,21 +16,34 @@
 //     enough to scan — produces a per-attribute heavy-hitter report
 //     ([]relation.HotKey) stored in the stats catalog
 //     (AnnotateCatalog). Because the sampling RNG is seeded, the report
-//     is deterministic across runs.
+//     is deterministic across runs. Composite equi keys get joint
+//     detection on demand (JointHotKeys): the planner names a column
+//     set and receives the hot value COMBINATIONS ([]HotGroup), which
+//     per-column reports cannot see — two individually near-uniform
+//     columns can still share one dominant pair.
 //
 //   - Planning: core.Planner consults the report when costing candidate
 //     jobs (SigmaFrac turns the hottest key's share into the reducer
 //     input-variance estimate the cost model consumes) and attaches a
-//     JobPlan to planned jobs whose hottest key would overload a
-//     reducer past Threshold × the mean load.
+//     JobPlan — per-column HotKeys plus joint HotGroups for composite
+//     keys — to planned jobs whose hottest key would overload a
+//     reducer past Threshold × the mean load. At execution time the
+//     runtime feedback loop (core's replan step) re-derives the
+//     JobPlan of cascade jobs from a statistics overlay measured on
+//     their actual intermediate inputs, escalating to a tighter
+//     threshold when an upstream job's observed BalanceRatio exceeded
+//     the bound its threshold modeled.
 //
 //   - Routing: per SharesSkew (Afrati/Ullman et al.), a heavy hitter's
 //     tuples on one side are split across a Rows×Cols sub-grid of
 //     reducers by a deterministic content hash (TupleHash) while the
 //     matching other side replicates along the opposite axis, so every
 //     joining pair still meets exactly once. EquiPartitioner plugs this
-//     into the engine's shuffle for hash equi-joins; the share-grid
-//     operator gives hot rows of its grid finer cells the same way.
+//     into the engine's shuffle for hash equi-joins — coordinating
+//     sub-grid placement across hot keys so simultaneous heavy
+//     hitters occupy disjoint reducer sets when capacity allows — and
+//     the share-grid operator gives hot rows of its grid finer cells
+//     the same way.
 //
 // All routing decisions are pure functions of tuple content and the
 // plan, so execution stays deterministic for any worker count.

@@ -3,6 +3,9 @@ package skew
 import (
 	"hash/fnv"
 	"math"
+	"sort"
+	"strings"
+	"sync"
 
 	"repro/internal/relation"
 )
@@ -21,6 +24,11 @@ type JobPlan struct {
 	Threshold float64
 	// Cols holds heavy hitters per relation per column.
 	Cols map[string]map[string][]relation.HotKey
+	// Joint holds joint heavy hitters per relation per canonical
+	// column-set key (JointKey of the column names in join-condition
+	// order) — the composite-key analogue of Cols, filled when a job
+	// equi-joins on more than one column pair.
+	Joint map[string]map[string][]HotGroup
 }
 
 // NewJobPlan builds an empty plan with the given threshold (<= 0 uses
@@ -29,7 +37,41 @@ func NewJobPlan(threshold float64) *JobPlan {
 	if threshold <= 0 {
 		threshold = DefaultThreshold
 	}
-	return &JobPlan{Threshold: threshold, Cols: make(map[string]map[string][]relation.HotKey)}
+	return &JobPlan{
+		Threshold: threshold,
+		Cols:      make(map[string]map[string][]relation.HotKey),
+		Joint:     make(map[string]map[string][]HotGroup),
+	}
+}
+
+// JointKey canonicalises a column list for Joint lookups. Order
+// matters: callers must pass the columns in join-condition order on
+// both the planning and the operator side, so the stored value vectors
+// align with the composite shuffle key.
+func JointKey(cols []string) string { return strings.Join(cols, "\x1f") }
+
+// AddJoint registers the joint heavy hitters of rel over cols.
+func (p *JobPlan) AddJoint(rel string, cols []string, hot []HotGroup) {
+	if len(hot) == 0 {
+		return
+	}
+	if p.Joint == nil {
+		p.Joint = make(map[string]map[string][]HotGroup)
+	}
+	m, ok := p.Joint[rel]
+	if !ok {
+		m = make(map[string][]HotGroup)
+		p.Joint[rel] = m
+	}
+	m[JointKey(cols)] = hot
+}
+
+// HotJoint returns the joint heavy hitters of rel over cols (nil-safe).
+func (p *JobPlan) HotJoint(rel string, cols []string) []HotGroup {
+	if p == nil {
+		return nil
+	}
+	return p.Joint[rel][JointKey(cols)]
 }
 
 // Add registers the heavy hitters of rel.col.
@@ -127,35 +169,111 @@ func (s Split) Cells() int { return s.Rows * s.Cols }
 // EquiPartitioner routes a repartition equi-join's shuffle with
 // heavy-hitter splitting: non-hot keys go to hash(key) mod n exactly
 // as the default partitioner would; a hot key's pairs spread over the
-// Cells consecutive reducers starting at that slot. It implements
-// mr.Partitioner.
+// Cells reducers of its sub-grid. It implements mr.Partitioner.
+//
+// Sub-grid placement is coordinated across hot keys: the historical
+// layout placed every grid on the consecutive slots following the
+// key's base, so two hot keys whose base slots were close aliased
+// onto the same reducers and re-concentrated exactly the load the
+// split was meant to spread. gridLayout instead assigns each key's
+// cells to the reducers occupied by the fewest other hot grids
+// (orbiting the key's own base slot for tie-breaks), which is fully
+// disjoint whenever Σ Cells ≤ n and evens out grid occupancy beyond
+// that.
 type EquiPartitioner struct {
 	// Splits maps the job's shuffle key (the composite join-key hash)
 	// of each heavy hitter to its sub-grid.
 	Splits map[uint64]Split
+
+	layoutOnce sync.Once
+	layoutN    int
+	layout     map[uint64][]int
+}
+
+// layoutFor returns the slot assignment of every hot grid for n
+// reducers, computing it on first use. A partitioner serves exactly
+// one job (one n); the sync.Once makes the lazy build safe under the
+// engine's concurrent map tasks, and the layout is a pure function of
+// (Splits, n), preserving shuffle determinism.
+func (p *EquiPartitioner) layoutFor(n int) map[uint64][]int {
+	p.layoutOnce.Do(func() {
+		p.layoutN = n
+		p.layout = gridLayout(p.Splits, n)
+	})
+	if p.layoutN != n {
+		// Out-of-contract caller probing a second n: stay correct,
+		// just without caching.
+		return gridLayout(p.Splits, n)
+	}
+	return p.layout
+}
+
+// gridLayout assigns each hot key's Cells() sub-grid slots. Keys are
+// processed in ascending key order (determinism); each picks the
+// slots currently covered by the fewest already-placed grids,
+// tie-breaking by ring distance from the key's own base slot so a
+// lone hot key keeps its historical consecutive run.
+func gridLayout(splits map[uint64]Split, n int) map[uint64][]int {
+	keys := make([]uint64, 0, len(splits))
+	for k := range splits {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	occ := make([]int, n)
+	order := make([]int, n)
+	layout := make(map[uint64][]int, len(keys))
+	for _, key := range keys {
+		cells := splits[key].Cells()
+		if cells < 1 || cells > n {
+			continue // Route falls back to plain hashing for this key
+		}
+		base := int(key % uint64(n))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			sa, sb := order[a], order[b]
+			if occ[sa] != occ[sb] {
+				return occ[sa] < occ[sb]
+			}
+			return (sa-base+n)%n < (sb-base+n)%n
+		})
+		slots := append([]int(nil), order[:cells]...)
+		for _, s := range slots {
+			occ[s]++
+		}
+		layout[key] = slots
+	}
+	return layout
 }
 
 // Route implements the skew-resilient routing. Tag 0 is the row side
 // (split), any other tag the column side (replicated); with both sides
 // hot the Rows×Cols grid splits each and every pair still meets in
-// exactly one cell.
+// exactly one cell — the grid-index → slot mapping is injective, so
+// the single shared cell of a (row, column) tuple pair is a single
+// shared reducer.
 func (p *EquiPartitioner) Route(dst []int, key uint64, tag uint8, t relation.Tuple, n int) []int {
 	base := int(key % uint64(n))
 	sp, ok := p.Splits[key]
 	if !ok || n < 2 || sp.Rows < 1 || sp.Cols < 1 || sp.Cells() > n {
 		return append(dst, base)
 	}
+	slots := p.layoutFor(n)[key]
+	if len(slots) != sp.Cells() {
+		return append(dst, base)
+	}
 	th := TupleHash(t)
 	if tag == 0 {
 		row := int(th % uint64(sp.Rows))
 		for c := 0; c < sp.Cols; c++ {
-			dst = append(dst, (base+row*sp.Cols+c)%n)
+			dst = append(dst, slots[row*sp.Cols+c])
 		}
 		return dst
 	}
 	col := int(th % uint64(sp.Cols))
 	for r := 0; r < sp.Rows; r++ {
-		dst = append(dst, (base+r*sp.Cols+col)%n)
+		dst = append(dst, slots[r*sp.Cols+col])
 	}
 	return dst
 }

@@ -140,3 +140,131 @@ func TestTupleHashDistinguishesContent(t *testing.T) {
 		t.Errorf("only %d distinct hashes over 100 tuples", len(seen))
 	}
 }
+
+// TestEquiPartitionerMultiHotSpread is the multi-hot-key regression:
+// with the historical consecutive-slot layout, two hot keys whose
+// base slots are close alias their sub-grids onto the same reducers
+// and re-concentrate load. The coordinated layout must (a) still give
+// each grid exactly Cells distinct reducers, (b) place the two grids
+// on disjoint reducer sets (8 + 8 cells fit in 16 slots exactly), and
+// (c) balance the combined load strictly better than the consecutive
+// layout.
+func TestEquiPartitionerMultiHotSpread(t *testing.T) {
+	const n = 16
+	// Two hot keys with adjacent base slots (key % 16 = 4 and 5).
+	k1, k2 := uint64(4+16*3), uint64(5+16*9)
+	sp := Split{Rows: 4, Cols: 2}
+	p := &EquiPartitioner{Splits: map[uint64]Split{k1: sp, k2: sp}}
+
+	load := make([]int64, n)
+	consecutive := make([]int64, n)
+	gridSlots := map[uint64]map[int]bool{k1: {}, k2: {}}
+	for _, key := range []uint64{k1, k2} {
+		base := int(key % n)
+		for i := 0; i < 400; i++ {
+			tpl := tup(int64(i), int64(key))
+			for _, s := range p.Route(nil, key, 0, tpl, n) {
+				load[s]++
+				gridSlots[key][s] = true
+			}
+			// Replay the pre-fix consecutive layout for the same tuple.
+			row := int(TupleHash(tpl) % uint64(sp.Rows))
+			for c := 0; c < sp.Cols; c++ {
+				consecutive[(base+row*sp.Cols+c)%n]++
+			}
+		}
+		for i := 0; i < 100; i++ {
+			tpl := tup(int64(5000+i), int64(key))
+			for _, s := range p.Route(nil, key, 1, tpl, n) {
+				load[s]++
+				gridSlots[key][s] = true
+			}
+			col := int(TupleHash(tpl) % uint64(sp.Cols))
+			for r := 0; r < sp.Rows; r++ {
+				consecutive[(base+r*sp.Cols+col)%n]++
+			}
+		}
+	}
+	for key, slots := range gridSlots {
+		if len(slots) != sp.Cells() {
+			t.Errorf("key %d grid occupies %d distinct reducers, want %d", key, len(slots), sp.Cells())
+		}
+	}
+	for s := range gridSlots[k1] {
+		if gridSlots[k2][s] {
+			t.Errorf("grids overlap on reducer %d despite free capacity", s)
+		}
+	}
+	ratio := func(loads []int64) float64 {
+		var max, total int64
+		for _, l := range loads {
+			total += l
+			if l > max {
+				max = l
+			}
+		}
+		return float64(max) * float64(len(loads)) / float64(total)
+	}
+	got, old := ratio(load), ratio(consecutive)
+	if got >= old {
+		t.Errorf("coordinated layout balance %.2f not better than consecutive %.2f", got, old)
+	}
+	if got > 1.5 {
+		t.Errorf("two simultaneous hot keys still imbalanced: ratio %.2f", got)
+	}
+	t.Logf("multi-hot balance ratio: coordinated %.2f vs consecutive %.2f", got, old)
+}
+
+// TestGridLayoutOverCapacity: three 8-cell grids on 16 slots cannot be
+// disjoint, but occupancy must stay even — no slot carries all three
+// grids while another carries none.
+func TestGridLayoutOverCapacity(t *testing.T) {
+	const n = 16
+	sp := Split{Rows: 4, Cols: 2}
+	splits := map[uint64]Split{3: sp, 4: sp, 5: sp}
+	layout := gridLayout(splits, n)
+	occ := make([]int, n)
+	for key, slots := range layout {
+		if len(slots) != sp.Cells() {
+			t.Fatalf("key %d: %d slots, want %d", key, len(slots), sp.Cells())
+		}
+		seen := map[int]bool{}
+		for _, s := range slots {
+			if s < 0 || s >= n || seen[s] {
+				t.Fatalf("key %d: bad slot list %v", key, slots)
+			}
+			seen[s] = true
+			occ[s]++
+		}
+	}
+	for s, o := range occ {
+		if o < 1 || o > 2 {
+			t.Errorf("slot %d carries %d grids, want 1..2 (24 cells over 16 slots)", s, o)
+		}
+	}
+}
+
+// TestJobPlanJointRoundTrip: AddJoint/HotJoint key on the ordered
+// column vector and are nil-safe.
+func TestJobPlanJointRoundTrip(t *testing.T) {
+	p := NewJobPlan(0)
+	g := []HotGroup{{Values: []relation.Value{relation.Int(7), relation.Int(8)}, Count: 10, Frac: 0.4}}
+	p.AddJoint("L", []string{"a", "b"}, g)
+	if got := p.HotJoint("L", []string{"a", "b"}); len(got) != 1 || got[0].Frac != 0.4 {
+		t.Errorf("HotJoint round trip failed: %v", got)
+	}
+	if got := p.HotJoint("L", []string{"b", "a"}); got != nil {
+		t.Errorf("column order ignored: %v", got)
+	}
+	if got := p.HotJoint("R", []string{"a", "b"}); got != nil {
+		t.Errorf("unknown relation returned %v", got)
+	}
+	var nilPlan *JobPlan
+	if got := nilPlan.HotJoint("L", []string{"a"}); got != nil {
+		t.Errorf("nil plan returned %v", got)
+	}
+	p.AddJoint("L", []string{"a", "b"}, nil) // no-op, must not clobber
+	if got := p.HotJoint("L", []string{"a", "b"}); len(got) != 1 {
+		t.Errorf("empty AddJoint clobbered existing groups: %v", got)
+	}
+}
