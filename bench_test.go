@@ -207,6 +207,98 @@ func BenchmarkSkewedShuffle(b *testing.B) {
 	}
 }
 
+// BenchmarkReduceJoin measures reducer-local join evaluation on
+// reduce-heavy configurations: few reducers, large per-group candidate
+// lists, so the inner loops dominate over map/shuffle. The indexed
+// sub-benchmarks run the compiled evaluator (hash probes on
+// equalities, intersected sorted-run ranges on band predicates); the
+// linear sub-benchmarks are the nested-loop ablation
+// (core.IndexedJoinEval=false) over the same jobs. Each reports the
+// CombinationsChecked metric alongside ns/op and allocs/op.
+func BenchmarkReduceJoin(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	mk := func(name string, n, domain int) *relation.Relation {
+		r := relation.New(name, relation.MustSchema(
+			relation.Column{Name: "a", Kind: relation.KindInt},
+			relation.Column{Name: "b", Kind: relation.KindInt},
+		))
+		for i := 0; i < n; i++ {
+			r.MustAppend(relation.Tuple{
+				relation.Int(int64(rng.Intn(domain))),
+				relation.Int(int64(rng.Intn(domain))),
+			})
+		}
+		return r
+	}
+	db, err := core.NewDB(1000, 1, mk("A", 4000, 6000), mk("B", 3000, 6000), mk("C", 2000, 300))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rel := func(name string) *relation.Relation {
+		r, err := db.Relation(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return r
+	}
+	// Band theta-join: two range conditions on the same column, the
+	// sorted-run intersection's best case.
+	thetaConds := predicate.Conjunction{
+		predicate.C("A", "a", predicate.LT, "B", "a"),
+		predicate.C("A", "a", predicate.GT, "B", "a").WithOffsets(0, -30),
+	}
+	// Equi-connected 3-way with a theta residual: hash probes at each
+	// extension step.
+	gridConds := predicate.Conjunction{
+		predicate.C("A", "b", predicate.EQ, "C", "b"),
+		predicate.C("B", "b", predicate.EQ, "C", "b"),
+		predicate.C("A", "a", predicate.LT, "B", "a"),
+	}
+	variants := []struct {
+		name    string
+		indexed bool
+		build   func() (*mr.Job, error)
+	}{
+		{"theta-band/indexed", true, nil},
+		{"theta-band/linear", false, nil},
+		{"share-grid/indexed", true, nil},
+		{"share-grid/linear", false, nil},
+	}
+	buildTheta := func() (*mr.Job, error) {
+		job, _, err := core.BuildThetaJob("rjbench-theta", []*relation.Relation{rel("A"), rel("B")}, thetaConds, 4, 1<<12)
+		return job, err
+	}
+	buildGrid := func() (*mr.Job, error) {
+		return core.BuildShareGridJob("rjbench-grid", []*relation.Relation{rel("C"), rel("A"), rel("B")}, gridConds, 8, 1<<12)
+	}
+	variants[0].build, variants[1].build = buildTheta, buildTheta
+	variants[2].build, variants[3].build = buildGrid, buildGrid
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			prev := core.IndexedJoinEval
+			core.IndexedJoinEval = v.indexed
+			defer func() { core.IndexedJoinEval = prev }()
+			job, err := v.build() // the evaluator snapshots the flag here
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := mr.DefaultConfig()
+			cfg.TuplesPerMapTask = 2048
+			var combs int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := mr.Run(context.Background(), cfg, nil, job)
+				if err != nil {
+					b.Fatal(err)
+				}
+				combs = res.Metrics.CombinationsChecked
+			}
+			b.ReportMetric(float64(combs), "combinations")
+		})
+	}
+}
+
 func concurrentPlanFixture(b *testing.B, kp, units int) (*core.Planner, *core.Plan, *core.DB) {
 	b.Helper()
 	mk := func(name string, n int, rng *rand.Rand) *relation.Relation {

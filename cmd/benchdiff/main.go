@@ -1,0 +1,131 @@
+// Command benchdiff compares two `go test -bench` output files and
+// fails (exit 1) when any benchmark present in both regressed in
+// ns/op beyond a threshold factor. It is the CI benchmark-regression
+// smoke: cheap -benchtime 1x runs are noisy, so the threshold is
+// coarse (default 3x) and repeated runs of a benchmark (-count N)
+// aggregate by taking the minimum — the least-noisy observation.
+//
+// Usage:
+//
+//	benchdiff [-threshold 3.0] base.txt head.txt
+//
+// Benchmarks only present in one file (new or deleted) are ignored.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// parseBench extracts name → min ns/op from a `go test -bench` output
+// file. Lines look like:
+//
+//	BenchmarkShuffle/workers=4-8   	      14	 146089017 ns/op	...
+//
+// The trailing -N GOMAXPROCS suffix is stripped so runs from machines
+// with different core counts still match.
+func parseBench(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// Find the "ns/op" unit and take the number before it.
+		var ns float64
+		found := false
+		for i := 2; i < len(fields); i++ {
+			if fields[i] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i-1], 64)
+				if err == nil {
+					ns, found = v, true
+				}
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		if prev, ok := out[name]; !ok || ns < prev {
+			out[name] = ns
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 3.0, "fail when head ns/op exceeds base ns/op by this factor")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold f] base.txt head.txt\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := parseBench(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	head, err := parseBench(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	var names []string
+	for name := range base {
+		if _, ok := head[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		// A gate comparing nothing must not pass: a renamed benchmark
+		// or a drifted -bench regex would otherwise go green forever.
+		fmt.Fprintln(os.Stderr, "benchdiff: no common benchmarks between the two files")
+		os.Exit(1)
+	}
+	regressed := 0
+	w := 0
+	for _, n := range names {
+		if len(n) > w {
+			w = len(n)
+		}
+	}
+	for _, name := range names {
+		b, h := base[name], head[name]
+		ratio := 0.0
+		if b > 0 {
+			ratio = h / b
+		}
+		status := "ok"
+		if b > 0 && ratio > *threshold {
+			status = fmt.Sprintf("REGRESSED (> %.1fx)", *threshold)
+			regressed++
+		}
+		fmt.Printf("%-*s  %14.0f  %14.0f  %6.2fx  %s\n", w, name, b, h, ratio, status)
+	}
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed beyond %.1fx\n", regressed, *threshold)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseBench(t *testing.T) {
+	p := writeTemp(t, "b.txt", `goos: linux
+BenchmarkShuffle/workers=4-8   	      14	 146089017 ns/op	33098440 B/op	   21445 allocs/op
+BenchmarkShuffle/workers=4-8   	      14	 140000000 ns/op	33098440 B/op	   21445 allocs/op
+BenchmarkSkewedShuffle/baseline 	       1	5619440322 ns/op	         7.312 balance
+BenchmarkOther-16          	     326	   3595167 ns/op
+not a benchmark line
+PASS
+`)
+	got, err := parseBench(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// -count runs aggregate by min; GOMAXPROCS suffix stripped.
+	if got["BenchmarkShuffle/workers=4"] != 140000000 {
+		t.Errorf("shuffle = %v", got["BenchmarkShuffle/workers=4"])
+	}
+	if got["BenchmarkSkewedShuffle/baseline"] != 5619440322 {
+		t.Errorf("skewed = %v", got["BenchmarkSkewedShuffle/baseline"])
+	}
+	if got["BenchmarkOther"] != 3595167 {
+		t.Errorf("other = %v", got["BenchmarkOther"])
+	}
+	if len(got) != 3 {
+		t.Errorf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+}

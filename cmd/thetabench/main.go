@@ -3,17 +3,23 @@
 //
 // Usage:
 //
-//	thetabench [-quick] [experiment ...]
+//	thetabench [-quick] [-cpuprofile f] [-memprofile f] [experiment ...]
 //
 // With no arguments every experiment runs in paper order. Experiment
 // ids: table1 fig6 fig7a fig7b fig8 table2 fig9 fig10 fig11 table3
 // fig12 fig13 ablation.
+//
+// -cpuprofile and -memprofile write pprof profiles covering the
+// selected experiments (inspect with `go tool pprof`), so performance
+// PRs can show where the wall-clock goes.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -24,8 +30,10 @@ func main() {
 	quick := flag.Bool("quick", false, "run reduced sweeps (seconds instead of minutes)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	seed := flag.Int64("seed", 1, "suite seed: offsets every experiment's data and sampling seeds (1 = the paper series)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to `file`")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the selected experiments to `file`")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: thetabench [-quick] [-list] [-seed N] [experiment ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: thetabench [-quick] [-list] [-seed N] [-cpuprofile f] [-memprofile f] [experiment ...]\n")
 		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(bench.Experiments(), " "))
 		flag.PrintDefaults()
 	}
@@ -35,6 +43,31 @@ func main() {
 			fmt.Println(id)
 		}
 		return
+	}
+	// stopCPU finishes the CPU profile; called on the error path too,
+	// because os.Exit skips defers and a profile without its footer is
+	// unreadable — and a failing run is exactly the one worth profiling.
+	stopCPU := func() {}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "thetabench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "thetabench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		stopped := false
+		stopCPU = func() {
+			if stopped {
+				return
+			}
+			stopped = true
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+		defer stopCPU()
 	}
 	suite := bench.NewSuite(*quick)
 	suite.Seed = *seed
@@ -46,8 +79,26 @@ func main() {
 		start := time.Now()
 		if err := suite.Run(id, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "thetabench: %s: %v\n", id, err)
+			stopCPU()
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "[%s completed in %s]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if *memprofile != "" {
+		// Finalize the CPU profile first: CPU profiling should not
+		// overlap the heap snapshot, and the os.Exit error paths below
+		// would otherwise skip the deferred stop and truncate it.
+		stopCPU()
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "thetabench: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // materialize retained allocations before the snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "thetabench: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

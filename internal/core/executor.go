@@ -683,124 +683,62 @@ func tupleGlobalID(rid relation.Value, card int, salt uint64, dim int) uint64 {
 	return x % uint64(card)
 }
 
-// elem is one reducer-side tuple with its cached global ID and cell
-// coordinate.
-type elem struct {
-	t     relation.Tuple
-	coord uint32
-}
-
 // makeThetaReducer compiles the backtracking join executed inside each
-// component. Extension steps use an "anchor": one range-comparable
-// condition whose earlier side is already bound; the group is
-// pre-sorted on the anchor column so each partial narrows candidates
-// by binary search before the remaining conditions are verified
-// tuple-by-tuple. The final membership check (does the combination's
-// cell belong to this component?) guarantees each result is emitted by
-// exactly one reducer.
+// component. Condition evaluation is delegated to the shared indexed
+// evaluator (joineval.go): per reduce group, extension steps probe
+// hash indexes on equality conditions and intersected sorted-run
+// ranges on inequality conditions, comparing normalized int64 sort
+// keys instead of boxed values. The final membership check (does the
+// combination's cell belong to this component?) guarantees each result
+// is emitted by exactly one reducer.
 func makeThetaReducer(rels []*relation.Relation, bound []boundCond, part *Partitioner, ridIdx, cards []int, salt uint64) mr.ReduceFunc {
 	m := len(rels)
-	// checksAt[j] = conditions whose later ordinal is j.
-	checksAt := make([][]boundCond, m)
-	for _, bc := range bound {
-		checksAt[bc.hi] = append(checksAt[bc.hi], bc)
-	}
-	// anchorAt[j]: a range-op condition usable for narrowing at step j.
-	anchorAt := make([]*boundCond, m)
-	for j := 1; j < m; j++ {
-		for i := range checksAt[j] {
-			bc := checksAt[j][i]
-			if bc.op != predicate.NE {
-				anchorAt[j] = &checksAt[j][i]
-				break
-			}
-		}
-	}
+	je := newJoinEval(rels, bound)
+	arity := totalArity(rels)
 	return func(key uint64, values []mr.Tagged, ctx *mr.ReduceContext) {
 		comp := int32(key)
-		groups := make([][]elem, m)
+		groups := make([][]relation.Tuple, m)
+		coords := make([][]uint32, m)
 		for _, v := range values {
 			dim := int(v.Tag)
 			id := tupleGlobalID(v.Tuple[ridIdx[dim]], cards[dim], salt, dim)
-			groups[dim] = append(groups[dim], elem{t: v.Tuple, coord: part.CellCoord(dim, id)})
+			groups[dim] = append(groups[dim], v.Tuple)
+			coords[dim] = append(coords[dim], part.CellCoord(dim, id))
 		}
 		for _, g := range groups {
 			if len(g) == 0 {
 				return // some dimension absent: no combination possible
 			}
 		}
-		// Pre-sort groups by their anchor column for binary search.
-		sorted := make([][]elem, m)
-		for j := 1; j < m; j++ {
-			if a := anchorAt[j]; a != nil {
-				g := append([]elem(nil), groups[j]...)
-				col, off := a.hiCol, a.hiOff
-				sort.SliceStable(g, func(x, y int) bool {
-					return relation.Compare(g[x].t[col].Add(off), g[y].t[col].Add(off)) < 0
-				})
-				sorted[j] = g
-			} else {
-				sorted[j] = groups[j]
-			}
-		}
-		partial := make([]elem, m)
 		axes := make([]uint32, m)
-		var rec func(j int)
-		rec = func(j int) {
-			if j == m {
-				// Ownership check: emit only when this component owns
-				// the combination's cell.
-				if part.componentOfAxes(axes) != comp {
-					return
-				}
-				out := make(relation.Tuple, 0, totalArity(rels))
-				for i := 0; i < m; i++ {
-					out = append(out, partial[i].t...)
-				}
-				ctx.Emit(out)
+		ge := je.newGroupEval(groups)
+		ge.run(ctx, func(sel []int32) {
+			// Ownership check: emit only when this component owns the
+			// combination's cell.
+			for i := 0; i < m; i++ {
+				axes[i] = coords[i][sel[i]]
+			}
+			if part.componentOfAxes(axes) != comp {
 				return
 			}
-			cands := sorted[j]
-			lo, hi := 0, len(cands)
-			if a := anchorAt[j]; a != nil {
-				pv := partial[a.lo].t[a.loCol].Add(a.loOff)
-				lo, hi = anchorRange(cands, a, pv)
+			out := make(relation.Tuple, 0, arity)
+			for i := 0; i < m; i++ {
+				out = append(out, groups[i][sel[i]]...)
 			}
-			for x := lo; x < hi; x++ {
-				e := cands[x]
-				ctx.AddWork(1)
-				ok := true
-				for _, bc := range checksAt[j] {
-					lv := partial[bc.lo].t[bc.loCol].Add(bc.loOff)
-					rv := e.t[bc.hiCol].Add(bc.hiOff)
-					if !bc.op.Eval(relation.Compare(lv, rv)) {
-						ok = false
-						break
-					}
-				}
-				if !ok {
-					continue
-				}
-				partial[j] = e
-				axes[j] = e.coord
-				rec(j + 1)
-			}
-		}
-		for _, e0 := range groups[0] {
-			partial[0] = e0
-			axes[0] = e0.coord
-			rec(1)
-		}
+			ctx.Emit(out)
+		})
 	}
 }
 
-// anchorRange narrows the sorted candidate slice to the subrange
-// satisfying "pv op cand.val" (op oriented lo→hi).
-func anchorRange(cands []elem, a *boundCond, pv relation.Value) (int, int) {
-	col, off := a.hiCol, a.hiOff
-	cmpAt := func(i int) int { return relation.Compare(pv, cands[i].t[col].Add(off)) }
-	n := len(cands)
-	switch a.op {
+// anchorRange narrows a Compare-sorted candidate value list (each with
+// the anchor condition's offset already applied) to the subrange
+// satisfying "pv op vals[i]" (op oriented lo→hi). It is the generic-
+// path counterpart of keyRange, used when a step's only range handle
+// is a non-numeric condition.
+func anchorRange(vals []relation.Value, op predicate.Op, pv relation.Value) (int, int) {
+	cmpAt := func(i int) int { return relation.Compare(pv, vals[i]) }
+	n := len(vals)
+	switch op {
 	case predicate.LT: // pv < cand: suffix where cand > pv
 		return sort.Search(n, func(i int) bool { return cmpAt(i) < 0 }), n
 	case predicate.LE:
@@ -970,15 +908,17 @@ func BuildHashEquiJobSkew(name string, left, right *relation.Relation, conds pre
 			partitioner = &skew.EquiPartitioner{Splits: splits}
 		}
 	}
-	verify := func(l, r relation.Tuple) bool {
-		for i := range lCols {
-			if relation.Compare(l[lCols[i].col].Add(lCols[i].off), r[rCols[i].col].Add(rCols[i].off)) != 0 {
-				return false
-			}
-		}
-		return true
-	}
 	rels := []*relation.Relation{left, right}
+	// Reducer-side verification through the shared indexed evaluator:
+	// within a reduce group (one composite key hash) the equality
+	// conditions compare normalized sort keys — or probe a per-group
+	// hash index when hash collisions mix several key values — instead
+	// of boxed Compare(Value.Add(...)) per (l, r) pair.
+	bound, err := bindConditions(oriented, rels)
+	if err != nil {
+		return nil, err
+	}
+	je := newJoinEval(rels, bound)
 	return &mr.Job{
 		Name: name,
 		Inputs: []mr.Input{
@@ -994,14 +934,27 @@ func BuildHashEquiJobSkew(name string, left, right *relation.Relation, conds pre
 					rs = append(rs, v.Tuple)
 				}
 			}
-			ctx.AddWork(int64(len(ls)) * int64(len(rs)))
-			for _, l := range ls {
-				for _, r := range rs {
-					if verify(l, r) {
-						ctx.Emit(l.Concat(r))
+			if len(ls) == 0 || len(rs) == 0 {
+				return
+			}
+			// Tiny groups (the common case when keys are near-unique)
+			// verify pair-by-pair on normalized keys with zero group
+			// setup; larger groups get the per-group indexes.
+			if len(ls)*len(rs) <= directPairVerify {
+				ctx.AddWork(int64(len(ls)) * int64(len(rs)))
+				for _, l := range ls {
+					for _, r := range rs {
+						if je.matchPair(l, r) {
+							ctx.Emit(l.Concat(r))
+						}
 					}
 				}
+				return
 			}
+			ge := je.newGroupEval([][]relation.Tuple{ls, rs})
+			ge.run(ctx, func(sel []int32) {
+				ctx.Emit(ls[sel[0]].Concat(rs[sel[1]]))
+			})
 		},
 		NumReducers:  kr,
 		Partitioner:  partitioner,

@@ -1,0 +1,514 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/mr"
+	"repro/internal/predicate"
+	"repro/internal/relation"
+)
+
+// Indexed reducer-side join evaluation, shared by the theta (hyper-
+// cube) and share-grid reducers. Both operators backtrack over per-
+// relation groups inside a reduce call, extending a partial
+// combination one relation at a time and checking the conditions whose
+// later side just became bound. The evaluator compiles those checks
+// once per job (newJoinEval) and, per reduce group, builds lightweight
+// indexes lazily the first time an extension step is probed
+// (groupEval):
+//
+//   - every numeric condition gets a normalized sort key per candidate
+//     tuple — an int64 extracted once (relation.SortKeyInt/SortKeyFloat,
+//     mode from predicate.CondKeyMode) — so the inner loop compares raw
+//     integers instead of calling relation.Compare(Value.Add(...), ...)
+//     per candidate;
+//   - an equality condition indexes the step's candidates in a hash
+//     table keyed on the normalized key: a probe examines only the
+//     matching bucket;
+//   - range conditions keep the candidates key-sorted; all range
+//     conditions anchored on the same column (and offset) narrow the
+//     scan by binary search and intersect into a single subrange, so a
+//     band predicate (lo < x AND x < hi) costs two searches, not a scan;
+//   - string and other non-numeric conditions fall back to
+//     relation.Compare, with a Compare-sorted run (anchorRange) when
+//     they are the only handle on a step.
+//
+// Candidate iteration order is deterministic (original group order for
+// hash probes and linear scans; stable key order for sorted runs), so
+// the engine's cross-worker determinism guarantee is preserved.
+//
+// Work accounting: one ReduceContext.AddWork unit per candidate
+// examined at a step that carries conditions. Steps without conditions
+// (always the backtracker's root) enumerate without charging, matching
+// the previous theta reducer; indexing therefore strictly lowers
+// CombinationsChecked whenever it prunes candidates the nested loop
+// used to enumerate.
+
+// IndexedJoinEval toggles the per-group indexes (hash tables, sorted
+// runs, subrange intersection). When false, every step scans its full
+// candidate list and verifies conditions tuple-by-tuple — the nested-
+// loop baseline, kept as an ablation for benchmarks and tests. The
+// flag is snapshotted when a job is built (newJoinEval); flipping it
+// while jobs run has no effect on them. Both settings produce the same
+// output combinations.
+var IndexedJoinEval = true
+
+// ccond is one compiled condition: a boundCond plus its key mode.
+type ccond struct {
+	bc   boundCond
+	mode predicate.KeyMode
+}
+
+// loKey extracts the probe-side normalized key from the bound partial
+// tuple.
+func (c *ccond) loKey(t relation.Tuple) int64 {
+	if c.mode == predicate.KeyInt {
+		return relation.SortKeyInt(t[c.bc.loCol], c.bc.loOff)
+	}
+	return relation.SortKeyFloat(t[c.bc.loCol], c.bc.loOff)
+}
+
+// hiKey extracts the candidate-side normalized key.
+func (c *ccond) hiKey(t relation.Tuple) int64 {
+	if c.mode == predicate.KeyInt {
+		return relation.SortKeyInt(t[c.bc.hiCol], c.bc.hiOff)
+	}
+	return relation.SortKeyFloat(t[c.bc.hiCol], c.bc.hiOff)
+}
+
+// evalKeys applies the condition's operator to two normalized keys.
+func (c *ccond) evalKeys(lo, hi int64) bool {
+	cmp := 0
+	if lo < hi {
+		cmp = -1
+	} else if lo > hi {
+		cmp = 1
+	}
+	return c.bc.op.Eval(cmp)
+}
+
+// joinStep is the compiled check set of one extension step: the
+// conditions whose later relation ordinal is this step, split by
+// evaluation strategy.
+type joinStep struct {
+	eq  []ccond // fast equalities: hash index on eq[0]
+	rng []ccond // fast ranges: sorted run on rng[0]'s column
+	ne  []ccond // fast inequalities (<>): key comparison only
+	gen []ccond // generic: relation.Compare fallback
+	// genAnchor indexes the first range-comparable generic condition
+	// (usable with anchorRange when no fast index exists); -1 if none.
+	genAnchor int
+}
+
+func (st *joinStep) empty() bool {
+	return len(st.eq) == 0 && len(st.rng) == 0 && len(st.ne) == 0 && len(st.gen) == 0
+}
+
+// joinEval is the per-job compiled plan: one joinStep per relation
+// ordinal. It is immutable and shared by all reduce calls of the job.
+type joinEval struct {
+	m       int
+	steps   []joinStep
+	indexed bool
+}
+
+// newJoinEval compiles the bound conditions of a job over its ordered
+// relations. Column kinds come from the relation schemas; a condition
+// between numeric columns gets a fast key mode, everything else goes
+// through the generic path.
+func newJoinEval(rels []*relation.Relation, bound []boundCond) *joinEval {
+	je := &joinEval{m: len(rels), steps: make([]joinStep, len(rels)), indexed: IndexedJoinEval}
+	for i := range je.steps {
+		je.steps[i].genAnchor = -1
+	}
+	for _, bc := range bound {
+		st := &je.steps[bc.hi]
+		loKind := rels[bc.lo].Schema.Column(bc.loCol).Kind
+		hiKind := rels[bc.hi].Schema.Column(bc.hiCol).Kind
+		mode := predicate.CondKeyMode(loKind, bc.loOff, hiKind, bc.hiOff)
+		c := ccond{bc: bc, mode: mode}
+		switch {
+		case mode == predicate.KeyGeneric:
+			if bc.op != predicate.NE && st.genAnchor < 0 {
+				st.genAnchor = len(st.gen)
+			}
+			st.gen = append(st.gen, c)
+		case bc.op == predicate.EQ:
+			st.eq = append(st.eq, c)
+		case bc.op == predicate.NE:
+			st.ne = append(st.ne, c)
+		default:
+			st.rng = append(st.rng, c)
+		}
+	}
+	return je
+}
+
+// matchPair reports whether (l, r) satisfies every condition of a
+// two-relation evaluator, comparing normalized keys pair-by-pair
+// without any per-group setup. It is the cheap path for the tiny
+// reduce groups a high-cardinality equi-join produces, where building
+// key arrays and indexes would dominate the handful of comparisons.
+func (je *joinEval) matchPair(l, r relation.Tuple) bool {
+	st := &je.steps[1]
+	for ci := range st.eq {
+		c := &st.eq[ci]
+		if c.loKey(l) != c.hiKey(r) {
+			return false
+		}
+	}
+	for ci := range st.rng {
+		c := &st.rng[ci]
+		if !c.evalKeys(c.loKey(l), c.hiKey(r)) {
+			return false
+		}
+	}
+	for ci := range st.ne {
+		c := &st.ne[ci]
+		if c.loKey(l) == c.hiKey(r) {
+			return false
+		}
+	}
+	for ci := range st.gen {
+		bc := &st.gen[ci].bc
+		if !bc.op.Eval(relation.Compare(l[bc.loCol].Add(bc.loOff), r[bc.hiCol].Add(bc.hiOff))) {
+			return false
+		}
+	}
+	return true
+}
+
+// stepIndex is the lazily built per-reduce-group index of one step.
+type stepIndex struct {
+	built bool
+	// Normalized candidate keys, aligned with the step's cond lists.
+	eqKeys  [][]int64
+	rngKeys [][]int64
+	neKeys  [][]int64
+	// genVals[ci][i] is candidate i's hi-side value with the generic
+	// condition's offset applied (what relation.Compare sees).
+	genVals [][]relation.Value
+	all     []int32 // identity candidate list, for condition-free steps
+	// Hash index on eqKeys[0] (bucket lists keep candidate order).
+	hash map[int64][]int32
+	// Sorted run on rngKeys[0]: order is the stable key-sorted
+	// candidate permutation, skeys the keys in that order.
+	order []int32
+	skeys []int64
+	// Compare-sorted run on genVals[genAnchor].
+	gorder  []int32
+	gsorted []relation.Value
+	// Probe-side buffers, reused across probes of this step (safe: the
+	// depth-first backtracker probes one partial per depth at a time).
+	pkEq, pkRng, pkNe []int64
+	pvGen             []relation.Value
+}
+
+// indexMinSize is the group size below which building a hash table or
+// sorted run costs more than linear scans over the extracted keys.
+const indexMinSize = 8
+
+// directPairVerify is the |ls|×|rs| bound below which a two-relation
+// reduce group verifies pairs directly (matchPair) instead of paying
+// groupEval's per-group slice setup.
+const directPairVerify = 16
+
+// groupEval evaluates one reduce group: the per-relation candidate
+// groups plus lazily built step indexes and per-depth scratch buffers.
+type groupEval struct {
+	je      *joinEval
+	groups  [][]relation.Tuple
+	idx     []stepIndex
+	scratch [][]int32 // per-depth surviving-candidate buffers
+	sel     []int32
+}
+
+// newGroupEval prepares evaluation over the group's relations. Every
+// groups[i] must be non-empty (callers return early otherwise).
+func (je *joinEval) newGroupEval(groups [][]relation.Tuple) *groupEval {
+	return &groupEval{
+		je:      je,
+		groups:  groups,
+		idx:     make([]stepIndex, je.m),
+		scratch: make([][]int32, je.m),
+		sel:     make([]int32, je.m),
+	}
+}
+
+// run backtracks over the groups and invokes onMatch with the selected
+// candidate ordinals (sel[i] indexes groups[i]) for every combination
+// satisfying all compiled conditions. sel is reused across calls; the
+// callback must not retain it.
+func (ge *groupEval) run(ctx *mr.ReduceContext, onMatch func(sel []int32)) {
+	m := ge.je.m
+	var rec func(j int)
+	rec = func(j int) {
+		if j == m {
+			onMatch(ge.sel)
+			return
+		}
+		for _, idx := range ge.candidates(j, ctx) {
+			ge.sel[j] = idx
+			rec(j + 1)
+		}
+	}
+	rec(0)
+}
+
+// buildStep extracts the step's normalized keys and builds its index.
+// Called on the first probe of the step, so steps pruned away upstream
+// cost nothing.
+func (ge *groupEval) buildStep(j int) {
+	st := &ge.je.steps[j]
+	si := &ge.idx[j]
+	si.built = true
+	cands := ge.groups[j]
+	n := len(cands)
+	if st.empty() {
+		si.all = make([]int32, n)
+		for i := range si.all {
+			si.all[i] = int32(i)
+		}
+		return
+	}
+	keysOf := func(cs []ccond) [][]int64 {
+		if len(cs) == 0 {
+			return nil
+		}
+		out := make([][]int64, len(cs))
+		for ci := range cs {
+			ks := make([]int64, n)
+			for i, t := range cands {
+				ks[i] = cs[ci].hiKey(t)
+			}
+			out[ci] = ks
+		}
+		return out
+	}
+	si.eqKeys = keysOf(st.eq)
+	si.rngKeys = keysOf(st.rng)
+	si.neKeys = keysOf(st.ne)
+	if len(st.gen) > 0 {
+		si.genVals = make([][]relation.Value, len(st.gen))
+		for ci := range st.gen {
+			bc := &st.gen[ci].bc
+			vs := make([]relation.Value, n)
+			for i, t := range cands {
+				vs[i] = t[bc.hiCol].Add(bc.hiOff)
+			}
+			si.genVals[ci] = vs
+		}
+	}
+	si.pkEq = make([]int64, len(st.eq))
+	si.pkRng = make([]int64, len(st.rng))
+	si.pkNe = make([]int64, len(st.ne))
+	si.pvGen = make([]relation.Value, len(st.gen))
+	if !ge.je.indexed || n < indexMinSize {
+		return
+	}
+	switch {
+	case len(st.eq) > 0:
+		h := make(map[int64][]int32, n)
+		for i, k := range si.eqKeys[0] {
+			h[k] = append(h[k], int32(i))
+		}
+		si.hash = h
+	case len(st.rng) > 0:
+		si.order = stableKeyOrder(si.rngKeys[0])
+		si.skeys = make([]int64, n)
+		for x, i := range si.order {
+			si.skeys[x] = si.rngKeys[0][i]
+		}
+	case st.genAnchor >= 0:
+		vals := si.genVals[st.genAnchor]
+		order := make([]int32, n)
+		for i := range order {
+			order[i] = int32(i)
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return relation.Compare(vals[order[a]], vals[order[b]]) < 0
+		})
+		si.gorder = order
+		si.gsorted = make([]relation.Value, n)
+		for x, i := range order {
+			si.gsorted[x] = vals[i]
+		}
+	}
+}
+
+// stableKeyOrder returns the candidate permutation sorted ascending by
+// key, equal keys keeping their original order.
+func stableKeyOrder(keys []int64) []int32 {
+	order := make([]int32, len(keys))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.SliceStable(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+	return order
+}
+
+// candidates returns the ordinals of the step-j candidates compatible
+// with the bound partial (ge.sel[:j]), charging one work unit per
+// candidate examined. The returned slice is valid until the next
+// candidates call at the same depth.
+func (ge *groupEval) candidates(j int, ctx *mr.ReduceContext) []int32 {
+	st := &ge.je.steps[j]
+	si := &ge.idx[j]
+	if !si.built {
+		ge.buildStep(j)
+	}
+	if st.empty() {
+		return si.all
+	}
+	// Probe-side values, computed once per partial into the step's
+	// reusable buffers.
+	eqPK, rngPK, nePK, genPV := si.pkEq, si.pkRng, si.pkNe, si.pvGen
+	ge.fillProbeKeys(st.eq, eqPK)
+	ge.fillProbeKeys(st.rng, rngPK)
+	ge.fillProbeKeys(st.ne, nePK)
+	for ci := range st.gen {
+		bc := &st.gen[ci].bc
+		genPV[ci] = ge.groups[bc.lo][ge.sel[bc.lo]][bc.loCol].Add(bc.loOff)
+	}
+	// verify checks every condition of the step except the skipped
+	// ones (already guaranteed by the index probe).
+	verify := func(i int32, skipEq0, skipRng bool) bool {
+		for ci := range st.eq {
+			if ci == 0 && skipEq0 {
+				continue
+			}
+			if si.eqKeys[ci][i] != eqPK[ci] {
+				return false
+			}
+		}
+		for ci := range st.rng {
+			if skipRng {
+				continue
+			}
+			if !st.rng[ci].evalKeys(rngPK[ci], si.rngKeys[ci][i]) {
+				return false
+			}
+		}
+		for ci := range st.ne {
+			if si.neKeys[ci][i] == nePK[ci] {
+				return false
+			}
+		}
+		for ci := range st.gen {
+			if !st.gen[ci].bc.op.Eval(relation.Compare(genPV[ci], si.genVals[ci][i])) {
+				return false
+			}
+		}
+		return true
+	}
+	out := ge.scratch[j][:0]
+	switch {
+	case si.hash != nil:
+		bucket := si.hash[eqPK[0]]
+		ctx.AddWork(int64(len(bucket)))
+		if len(st.eq) == 1 && len(st.rng) == 0 && len(st.ne) == 0 && len(st.gen) == 0 {
+			return bucket // single equality: the bucket is the answer
+		}
+		for _, i := range bucket {
+			if verify(i, true, false) {
+				out = append(out, i)
+			}
+		}
+	case si.order != nil:
+		// Intersect the subranges of every range condition anchored on
+		// the sorted column; the rest verify per candidate.
+		a := &st.rng[0]
+		lo, hi := 0, len(si.order)
+		folded := true
+		for ci := range st.rng {
+			c := &st.rng[ci]
+			pk := rngPK[ci]
+			if c.bc.hiCol != a.bc.hiCol || c.mode != a.mode {
+				folded = false
+				continue
+			}
+			if c.bc.hiOff != a.bc.hiOff {
+				// Same sorted column, different candidate offset — the
+				// usual shape of a band predicate (x < c AND x > c-w).
+				// In integer mode the fold stays sound by shifting the
+				// probe key instead (exact arithmetic; NULL keys sit at
+				// the sentinel in both encodings, and a NULL probe must
+				// not shift off it). Float keys are bit-remapped, so an
+				// additive shift does not commute with the encoding.
+				if c.mode != predicate.KeyInt {
+					folded = false
+					continue
+				}
+				if pk != relation.NullSortKey {
+					pk += int64(a.bc.hiOff) - int64(c.bc.hiOff)
+				}
+			}
+			l, h := keyRange(si.skeys, c.bc.op, pk)
+			if l > lo {
+				lo = l
+			}
+			if h < hi {
+				hi = h
+			}
+		}
+		if hi < lo {
+			hi = lo
+		}
+		ctx.AddWork(int64(hi - lo))
+		if folded && len(st.eq) == 0 && len(st.ne) == 0 && len(st.gen) == 0 {
+			return si.order[lo:hi] // anchors cover every condition
+		}
+		for _, i := range si.order[lo:hi] {
+			if verify(i, false, folded) {
+				out = append(out, i)
+			}
+		}
+	case si.gorder != nil:
+		a := &st.gen[st.genAnchor]
+		pv := genPV[st.genAnchor]
+		lo, hi := anchorRange(si.gsorted, a.bc.op, pv)
+		ctx.AddWork(int64(hi - lo))
+		for _, i := range si.gorder[lo:hi] {
+			if verify(i, false, false) {
+				out = append(out, i)
+			}
+		}
+	default:
+		n := int32(len(ge.groups[j]))
+		ctx.AddWork(int64(n))
+		for i := int32(0); i < n; i++ {
+			if verify(i, false, false) {
+				out = append(out, i)
+			}
+		}
+	}
+	ge.scratch[j] = out
+	return out
+}
+
+// fillProbeKeys extracts the partial-side normalized key of each fast
+// condition for the current selection into dst.
+func (ge *groupEval) fillProbeKeys(cs []ccond, dst []int64) {
+	for ci := range cs {
+		bc := &cs[ci].bc
+		dst[ci] = cs[ci].loKey(ge.groups[bc.lo][ge.sel[bc.lo]])
+	}
+}
+
+// keyRange returns the subrange [lo, hi) of the ascending keys
+// satisfying "pk op key" (the condition oriented probe→candidate).
+// Only the four range operators reach it: EQ conditions take the hash
+// index and NE the key-inequality check.
+func keyRange(keys []int64, op predicate.Op, pk int64) (int, int) {
+	n := len(keys)
+	switch op {
+	case predicate.LT: // pk < key: suffix of keys > pk
+		return sort.Search(n, func(i int) bool { return keys[i] > pk }), n
+	case predicate.LE:
+		return sort.Search(n, func(i int) bool { return keys[i] >= pk }), n
+	case predicate.GT: // pk > key: prefix of keys < pk
+		return 0, sort.Search(n, func(i int) bool { return keys[i] >= pk })
+	default: // GE
+		return 0, sort.Search(n, func(i int) bool { return keys[i] > pk })
+	}
+}

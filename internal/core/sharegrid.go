@@ -431,10 +431,7 @@ func BuildShareGridJobSkew(name string, rels []*relation.Relation, conds predica
 	for i, r := range rels {
 		ordinal[r.Name] = i
 	}
-	checksAt := make([][]boundCond, m)
-	for _, bc := range bound {
-		checksAt[bc.hi] = append(checksAt[bc.hi], bc)
-	}
+	je := newJoinEval(rels, bound)
 	slotters := make([]*dimSlotter, nDims)
 	for d, cl := range classes {
 		slotters[d] = buildSlotter(d, cl, rels, ordinal, plan)
@@ -479,6 +476,7 @@ func BuildShareGridJobSkew(name string, rels []*relation.Relation, conds predica
 			return nil, fmt.Errorf("core: share grid: dimension %d has no owner", d)
 		}
 	}
+	arity := totalArity(rels)
 	reduce := func(key uint64, values []mr.Tagged, ctx *mr.ReduceContext) {
 		groups := make([][]relation.Tuple, m)
 		for _, v := range values {
@@ -489,54 +487,35 @@ func BuildShareGridJobSkew(name string, rels []*relation.Relation, conds predica
 				return
 			}
 		}
-		partial := make([]relation.Tuple, m)
-		var rec func(j int)
-		rec = func(j int) {
-			if j == m {
-				// The verified equality conditions guarantee every
-				// member of a dim's class carries the same value, so
-				// any owner is representative; for a hot value the
-				// split relation's tuple pins the slot within the
-				// sub-range, exactly as its map side routed it.
-				cell := 0
-				for d := range slotters {
-					ds := slotters[d]
-					sr := ds.rangeOf(partial[dimOwner[d]][dimOwnCol[d]])
-					c := sr.lo
-					if sr.w > 1 {
-						c = sr.lo + int(skew.TupleHash(partial[ds.split])%uint64(sr.w))
-					}
-					cell += c * strides[d]
+		// Backtracking via the shared indexed evaluator (joineval.go):
+		// equality conditions — the grid's defining predicates — probe
+		// per-group hash indexes instead of scanning the cross product.
+		ge := je.newGroupEval(groups)
+		ge.run(ctx, func(sel []int32) {
+			// The verified equality conditions guarantee every member
+			// of a dim's class carries the same value, so any owner is
+			// representative; for a hot value the split relation's
+			// tuple pins the slot within the sub-range, exactly as its
+			// map side routed it.
+			cell := 0
+			for d := range slotters {
+				ds := slotters[d]
+				sr := ds.rangeOf(groups[dimOwner[d]][sel[dimOwner[d]]][dimOwnCol[d]])
+				c := sr.lo
+				if sr.w > 1 {
+					c = sr.lo + int(skew.TupleHash(groups[ds.split][sel[ds.split]])%uint64(sr.w))
 				}
-				if uint64(cell) != key {
-					return // another reducer owns this combination
-				}
-				out := make(relation.Tuple, 0, totalArity(rels))
-				for _, t := range partial {
-					out = append(out, t...)
-				}
-				ctx.Emit(out)
-				return
+				cell += c * strides[d]
 			}
-			for _, t := range groups[j] {
-				ctx.AddWork(1)
-				ok := true
-				for _, bc := range checksAt[j] {
-					lv := partial[bc.lo][bc.loCol].Add(bc.loOff)
-					rv := t[bc.hiCol].Add(bc.hiOff)
-					if !bc.op.Eval(relation.Compare(lv, rv)) {
-						ok = false
-						break
-					}
-				}
-				if !ok {
-					continue
-				}
-				partial[j] = t
-				rec(j + 1)
+			if uint64(cell) != key {
+				return // another reducer owns this combination
 			}
-		}
-		rec(0)
+			out := make(relation.Tuple, 0, arity)
+			for i, g := range groups {
+				out = append(out, g[sel[i]]...)
+			}
+			ctx.Emit(out)
+		})
 	}
 	return &mr.Job{
 		Name:         name,

@@ -75,11 +75,13 @@ type mapTask struct {
 // Run executes the job and returns its output and metrics. Execution
 // is deterministic for a fixed job specification regardless of worker
 // count or goroutine interleaving: map tasks partition their output
-// into per-reducer buckets as they emit, each reducer merges its
-// buckets in task order, and reduce keys are processed in sorted order
-// (values within a key keep task emission order). A Job.Partitioner
-// (e.g. the skew-resilient router of internal/skew) participates in
-// this guarantee because routing is a pure function of pair content.
+// into per-reducer buckets as they emit and sort each bucket by key at
+// spill time (Hadoop's map-side sort), each reducer k-way merges its
+// pre-sorted buckets in task order, and reduce keys are processed in
+// sorted order (values within a key keep task emission order). A
+// Job.Partitioner (e.g. the skew-resilient router of internal/skew)
+// participates in this guarantee because routing is a pure function of
+// pair content.
 //
 // Cancelling ctx aborts the run between tasks; the first error raised
 // by any worker (or the context's error) is returned and stops the
@@ -198,6 +200,15 @@ func Run(ctx context.Context, cfg Config, timer Timer, job *Job) (*Result, error
 				return emitErr
 			}
 		}
+		// Map-side sort: order each spill bucket by key before it is
+		// handed to the shuffle, so reducers merge pre-sorted runs
+		// instead of re-sorting their whole input. The sort is stable
+		// (emission order within a key is preserved) and skipped when
+		// the bucket is already ordered — the common case for jobs
+		// whose keys are reducer ordinals (identity partition).
+		for r := range buckets {
+			sortBucket(buckets[r])
+		}
 		taskBuckets[ti] = buckets
 		taskOutBytes[ti] = outBytes
 		return nil
@@ -206,45 +217,50 @@ func Run(ctx context.Context, cfg Config, timer Timer, job *Job) (*Result, error
 		return nil, err
 	}
 
-	// ---- Shuffle + reduce (parallel per-reducer merge) -----------------
-	// Each reducer independently merges its buckets in task order (the
-	// determinism anchor), sorts the merged run by key with a stable
-	// sort — preserving task emission order within a key — and streams
-	// the resulting key-runs through the reduce function. Reducers
-	// proceed concurrently; no global materialized map[key][]Tagged.
+	// ---- Shuffle + reduce (sort-free parallel per-reducer merge) -------
+	// Each reducer k-way merges its pre-sorted buckets in task order
+	// (the determinism anchor): the merged run is key-ordered with task
+	// emission order within a key — the exact ordering the old global
+	// stable sort produced, without an O(n log n) comparator pass over
+	// the whole run. Key-runs are handed to Reduce as zero-copy
+	// subslice views of the merged run. Reducers proceed concurrently;
+	// no global materialized map[key][]Tagged.
 	reducerBytes := make([]int64, nRed)
 	reducerPairs := make([]int64, nRed)
 	outs := make([][]relation.Tuple, nRed)
 	combs := make([]int64, nRed)
 	err = forEach(ctx, workers, nRed, func(r int) error {
 		var n int
-		for ti := range taskBuckets {
-			n += len(taskBuckets[ti][r])
-		}
-		run := make([]pair, 0, n)
 		var bytes int64
+		srcs := make([][]pair, 0, len(taskBuckets))
 		for ti := range taskBuckets {
+			b := taskBuckets[ti][r]
+			if len(b) == 0 {
+				continue
+			}
 			mult := tasks[ti].multiplier
-			for _, p := range taskBuckets[ti][r] {
-				run = append(run, p)
+			for _, p := range b {
 				bytes += int64(float64(p.tuple.EncodedSize()+8) * mult)
 			}
+			n += len(b)
+			srcs = append(srcs, b)
 			taskBuckets[ti][r] = nil // release as we go
 		}
 		reducerBytes[r] = bytes
 		reducerPairs[r] = int64(n)
-		sort.SliceStable(run, func(i, j int) bool { return run[i].key < run[j].key })
+		if n == 0 {
+			return nil
+		}
+		keys, vals := mergeBuckets(srcs, n)
 		rctx := &ReduceContext{}
-		for lo := 0; lo < len(run); {
+		for lo := 0; lo < n; {
 			hi := lo + 1
-			for hi < len(run) && run[hi].key == run[lo].key {
+			for hi < n && keys[hi] == keys[lo] {
 				hi++
 			}
-			vals := make([]Tagged, hi-lo)
-			for i := lo; i < hi; i++ {
-				vals[i-lo] = Tagged{Tag: run[i].tag, Tuple: run[i].tuple}
-			}
-			job.Reduce(run[lo].key, vals, rctx)
+			// Capacity-capped view: an accidental append inside Reduce
+			// allocates instead of overwriting the next key's values.
+			job.Reduce(keys[lo], vals[lo:hi:hi], rctx)
 			lo = hi
 		}
 		outs[r] = rctx.out
@@ -291,6 +307,16 @@ func Run(ctx context.Context, cfg Config, timer Timer, job *Job) (*Result, error
 	}
 	output := relation.New(job.OutputName, job.OutputSchema)
 	output.VolumeMultiplier = outMult
+	// Pre-size the output from the known per-reducer counts instead of
+	// growing append from nil, and release each reducer's buffer as
+	// soon as it is copied.
+	var totalOut int
+	for r := 0; r < nRed; r++ {
+		totalOut += len(outs[r])
+	}
+	if totalOut > 0 {
+		output.Tuples = make([]relation.Tuple, 0, totalOut)
+	}
 	var combinations int64
 	var outputBytes int64
 	reducerOutBytes := make([]int64, nRed)
@@ -305,6 +331,7 @@ func Run(ctx context.Context, cfg Config, timer Timer, job *Job) (*Result, error
 			outputBytes += b
 			reducerOutBytes[r] += b
 		}
+		outs[r] = nil
 		combinations += combs[r]
 	}
 
@@ -362,6 +389,106 @@ func Run(ctx context.Context, cfg Config, timer Timer, job *Job) (*Result, error
 			Sim:                 sim,
 		},
 	}, nil
+}
+
+// sortBucket stable-sorts one spill bucket by key, preserving emission
+// order within a key. Buckets that are already ordered — every job
+// whose keys are reducer ordinals routed by the identity partition —
+// are detected in one linear pass and left untouched.
+func sortBucket(b []pair) {
+	sorted := true
+	for i := 1; i < len(b); i++ {
+		if b[i].key < b[i-1].key {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return
+	}
+	sort.SliceStable(b, func(i, j int) bool { return b[i].key < b[j].key })
+}
+
+// mergeBuckets k-way merges pre-sorted buckets (given in task order)
+// into one key-ordered run of n pairs, stored as parallel key/value
+// slices so key-runs can be passed to Reduce as subslice views. Ties
+// between buckets break toward the earlier task, so the merged run
+// keeps task order — and, within a task, emission order — for equal
+// keys: exactly the ordering a global stable sort of the concatenated
+// buckets would produce.
+func mergeBuckets(srcs [][]pair, n int) ([]uint64, []Tagged) {
+	keys := make([]uint64, n)
+	vals := make([]Tagged, n)
+	w := 0
+	emit := func(p pair) {
+		keys[w] = p.key
+		vals[w] = Tagged{Tag: p.tag, Tuple: p.tuple}
+		w++
+	}
+	// Fast path: the concatenation in task order is already globally
+	// ordered (always true for identity-partitioned jobs, where every
+	// bucket holds a single key). A tie on the boundary is fine — task
+	// order is the desired order for equal keys.
+	ordered := true
+	for i := 1; i < len(srcs); i++ {
+		if srcs[i][0].key < srcs[i-1][len(srcs[i-1])-1].key {
+			ordered = false
+			break
+		}
+	}
+	if ordered {
+		for _, b := range srcs {
+			for _, p := range b {
+				emit(p)
+			}
+		}
+		return keys, vals
+	}
+	// Binary min-heap of bucket cursors ordered by (current key, task
+	// ordinal). pos[i] is the cursor into srcs[i]; the heap holds
+	// bucket indices.
+	pos := make([]int, len(srcs))
+	heap := make([]int, len(srcs))
+	for i := range heap {
+		heap[i] = i
+	}
+	less := func(a, b int) bool {
+		ka, kb := srcs[a][pos[a]].key, srcs[b][pos[b]].key
+		return ka < kb || (ka == kb && a < b)
+	}
+	var siftDown func(i, size int)
+	siftDown = func(i, size int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < size && less(heap[l], heap[small]) {
+				small = l
+			}
+			if r < size && less(heap[r], heap[small]) {
+				small = r
+			}
+			if small == i {
+				return
+			}
+			heap[i], heap[small] = heap[small], heap[i]
+			i = small
+		}
+	}
+	size := len(heap)
+	for i := size/2 - 1; i >= 0; i-- {
+		siftDown(i, size)
+	}
+	for size > 0 {
+		b := heap[0]
+		emit(srcs[b][pos[b]])
+		pos[b]++
+		if pos[b] == len(srcs[b]) {
+			size--
+			heap[0] = heap[size]
+		}
+		siftDown(0, size)
+	}
+	return keys, vals
 }
 
 // simulate advances the discrete-event clock: map tasks run in waves

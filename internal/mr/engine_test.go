@@ -109,6 +109,78 @@ func TestRunDeterministic(t *testing.T) {
 	}
 }
 
+// TestMergeOrderingContract pins the shuffle ordering the sort-free
+// merge must reproduce: reduce keys arrive in ascending order, and
+// values within a key keep task order (and, within a task, emission
+// order). With tasks split from one relation in block order, that
+// means values of a key appear in global input order.
+func TestMergeOrderingContract(t *testing.T) {
+	in := relation.New("in", relation.MustSchema(
+		relation.Column{Name: "k", Kind: relation.KindInt},
+		relation.Column{Name: "pos", Kind: relation.KindInt},
+	))
+	// 64 tuples over 7 keys, interleaved so every map task (4 tuples
+	// each) holds several keys and every key spans several tasks.
+	for i := int64(0); i < 64; i++ {
+		in.MustAppend(relation.Tuple{relation.Int(i % 7), relation.Int(i)})
+	}
+	cfg := smallConfig()
+	cfg.TuplesPerMapTask = 4
+	type group struct {
+		key uint64
+		pos []int64
+	}
+	var groups []group
+	job := &Job{
+		Name:   "ordering",
+		Inputs: []Input{{Rel: in, Map: func(t relation.Tuple, emit Emitter) { emit(uint64(t[0].Int64()), 0, t) }}},
+		Reduce: func(key uint64, values []Tagged, ctx *ReduceContext) {
+			g := group{key: key}
+			for _, v := range values {
+				g.pos = append(g.pos, v.Tuple[1].Int64())
+			}
+			groups = append(groups, g)
+			ctx.Emit(relation.Tuple{values[0].Tuple[0], relation.Int(int64(len(values)))})
+		},
+		NumReducers:  1, // single reducer: observe the full merged run
+		OutputName:   "out",
+		OutputSchema: relation.MustSchema(
+			relation.Column{Name: "k", Kind: relation.KindInt},
+			relation.Column{Name: "n", Kind: relation.KindInt},
+		),
+	}
+	cfg.MaxParallelWorkers = 1
+	if _, err := Run(context.Background(), cfg, nil, job); err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 7 {
+		t.Fatalf("got %d key groups, want 7", len(groups))
+	}
+	for i := 1; i < len(groups); i++ {
+		if groups[i].key <= groups[i-1].key {
+			t.Errorf("keys not ascending: %d after %d", groups[i].key, groups[i-1].key)
+		}
+	}
+	for _, g := range groups {
+		for i := 1; i < len(g.pos); i++ {
+			if g.pos[i] <= g.pos[i-1] {
+				t.Errorf("key %d: values out of input order: %v", g.key, g.pos)
+				break
+			}
+		}
+		if int64(len(g.pos)) != 64/7+b2i(g.key < 64%7) {
+			t.Errorf("key %d: %d values", g.key, len(g.pos))
+		}
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 func TestRunEquiJoin(t *testing.T) {
 	left := intsRelation("L", 1, 2, 3, 4, 5)
 	right := intsRelation("R", 3, 4, 5, 6, 3)

@@ -36,6 +36,11 @@ func (rc *ReduceContext) Emit(t relation.Tuple) { rc.out = append(rc.out, t) }
 func (rc *ReduceContext) AddWork(n int64) { rc.combinations += n }
 
 // ReduceFunc processes all values grouped under one key.
+//
+// values is a zero-copy view into the reducer's merged run: it is valid
+// only for the duration of the call and must not be mutated or retained
+// (copy what outlives the call). Values appear in task order and, within
+// a task, map emission order — the engine's determinism contract.
 type ReduceFunc func(key uint64, values []Tagged, ctx *ReduceContext)
 
 // Partitioner routes one map-emitted pair to one or more reducers. It

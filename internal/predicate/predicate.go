@@ -208,6 +208,62 @@ func (c Condition) Bound(leftSchema, rightSchema *relation.Schema) (func(l, r re
 	}, nil
 }
 
+// KeyMode classifies how a condition between two typed columns can be
+// evaluated on normalized sort keys (relation.SortKeyInt/SortKeyFloat):
+// the compilation step of the indexed reducer-side join evaluator.
+type KeyMode uint8
+
+const (
+	// KeyGeneric: no key extraction applies (a string column, or any
+	// non-numeric kind); evaluation falls back to relation.Compare.
+	KeyGeneric KeyMode = iota
+	// KeyInt: both sides stay integer-valued after their additive
+	// offsets (int/time columns, integral offsets); both sides extract
+	// with relation.SortKeyInt and compare as raw int64.
+	KeyInt
+	// KeyFloat: both sides numeric, at least one float-valued after
+	// its offset (a float column, or an int column with a fractional
+	// offset — relation.Value.Add's promotion rule); both sides
+	// extract with relation.SortKeyFloat.
+	KeyFloat
+)
+
+// shiftedKind is the value kind a column of kind k produces after
+// Value.Add(off): the static half of Add's promotion rules. Time
+// columns stay integer-valued for any offset (Add truncates), int
+// columns promote to float on fractional offsets.
+func shiftedKind(k relation.Kind, off float64) relation.Kind {
+	switch k {
+	case relation.KindInt:
+		if off == float64(int64(off)) {
+			return relation.KindInt
+		}
+		return relation.KindFloat
+	case relation.KindTime:
+		return relation.KindInt
+	default:
+		return k
+	}
+}
+
+// CondKeyMode classifies a condition between a left column of kind l
+// (shifted by lOff) and a right column of kind r (shifted by rOff).
+// The chosen mode reproduces relation.Compare's dispatch exactly:
+// integer comparison when both shifted sides are integer-valued, float
+// comparison when either is a float, no fast path otherwise. NULL
+// values are handled by the extractors, not the mode.
+func CondKeyMode(l relation.Kind, lOff float64, r relation.Kind, rOff float64) KeyMode {
+	lk, rk := shiftedKind(l, lOff), shiftedKind(r, rOff)
+	numeric := func(k relation.Kind) bool { return k == relation.KindInt || k == relation.KindFloat }
+	if !numeric(lk) || !numeric(rk) {
+		return KeyGeneric
+	}
+	if lk == relation.KindFloat || rk == relation.KindFloat {
+		return KeyFloat
+	}
+	return KeyInt
+}
+
 // Conjunction is a set of conditions that must all hold; the predicate
 // attached to one MapReduce job candidate.
 type Conjunction []Condition

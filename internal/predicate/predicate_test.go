@@ -318,3 +318,76 @@ func TestEstimateSelectivityErrors(t *testing.T) {
 		t.Error("missing left relation accepted")
 	}
 }
+
+func TestCondKeyMode(t *testing.T) {
+	cases := []struct {
+		l    relation.Kind
+		lOff float64
+		r    relation.Kind
+		rOff float64
+		want KeyMode
+	}{
+		{relation.KindInt, 0, relation.KindInt, 0, KeyInt},
+		{relation.KindInt, 3, relation.KindInt, -7, KeyInt},
+		{relation.KindTime, 0.5, relation.KindTime, 0, KeyInt}, // Add truncates time offsets
+		{relation.KindInt, 0, relation.KindTime, 2, KeyInt},
+		{relation.KindInt, 0.5, relation.KindInt, 0, KeyFloat}, // fractional offset promotes
+		{relation.KindFloat, 0, relation.KindInt, 0, KeyFloat},
+		{relation.KindFloat, 1.25, relation.KindFloat, 0, KeyFloat},
+		{relation.KindString, 0, relation.KindInt, 0, KeyGeneric},
+		{relation.KindInt, 0, relation.KindString, 0, KeyGeneric},
+		{relation.KindNull, 0, relation.KindInt, 0, KeyGeneric},
+	}
+	for _, tc := range cases {
+		if got := CondKeyMode(tc.l, tc.lOff, tc.r, tc.rOff); got != tc.want {
+			t.Errorf("CondKeyMode(%v%+g, %v%+g) = %d, want %d", tc.l, tc.lOff, tc.r, tc.rOff, got, tc.want)
+		}
+	}
+}
+
+// Key-mode comparison must agree with Compare on shifted values for
+// each fast mode, across the kinds that mode admits.
+func TestCondKeyModeAgreesWithCompare(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	mk := func(k relation.Kind) relation.Value {
+		switch k {
+		case relation.KindInt:
+			return relation.Int(int64(rng.Intn(100) - 50))
+		case relation.KindFloat:
+			return relation.Float(float64(rng.Intn(100)-50) / 4)
+		case relation.KindTime:
+			return relation.TimeUnix(int64(rng.Intn(100)))
+		default:
+			return relation.Null()
+		}
+	}
+	kinds := []relation.Kind{relation.KindInt, relation.KindFloat, relation.KindTime}
+	offs := []float64{0, 2, -3, 0.5}
+	for trial := 0; trial < 2000; trial++ {
+		lk, rk := kinds[rng.Intn(len(kinds))], kinds[rng.Intn(len(kinds))]
+		lOff, rOff := offs[rng.Intn(len(offs))], offs[rng.Intn(len(offs))]
+		lv, rv := mk(lk), mk(rk)
+		if rng.Intn(10) == 0 {
+			lv = relation.Null()
+		}
+		mode := CondKeyMode(lk, lOff, rk, rOff)
+		var lkey, rkey int64
+		switch mode {
+		case KeyInt:
+			lkey, rkey = relation.SortKeyInt(lv, lOff), relation.SortKeyInt(rv, rOff)
+		case KeyFloat:
+			lkey, rkey = relation.SortKeyFloat(lv, lOff), relation.SortKeyFloat(rv, rOff)
+		default:
+			t.Fatalf("numeric kinds classified generic: %v %v", lk, rk)
+		}
+		got := 0
+		if lkey < rkey {
+			got = -1
+		} else if lkey > rkey {
+			got = 1
+		}
+		if want := relation.Compare(lv.Add(lOff), rv.Add(rOff)); got != want {
+			t.Fatalf("mode %d: %v%+g vs %v%+g: key cmp %d, Compare %d", mode, lv, lOff, rv, rOff, got, want)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package relation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Key order must agree with Compare on the shifted values, for every
+// pair drawn from a mixed numeric pool and a sweep of offsets.
+func TestSortKeyOrderMatchesCompare(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ints := []Value{Null(), Int(-5), Int(0), Int(3), Int(1 << 40), TimeUnix(1700000000)}
+	for i := 0; i < 200; i++ {
+		ints = append(ints, Int(int64(rng.Intn(2000)-1000)))
+	}
+	floats := []Value{Null(), Float(-3.5), Float(0), Float(math.Copysign(0, -1)), Float(2.25), Float(math.Inf(1)), Float(math.Inf(-1))}
+	for i := 0; i < 200; i++ {
+		floats = append(floats, Float(rng.NormFloat64()*100), Int(int64(rng.Intn(2000)-1000)))
+	}
+	for _, offs := range [][2]float64{{0, 0}, {3, 0}, {0, -7}, {12, 12}} {
+		for _, a := range ints {
+			for _, b := range ints {
+				ka, kb := SortKeyInt(a, offs[0]), SortKeyInt(b, offs[1])
+				want := Compare(a.Add(offs[0]), b.Add(offs[1]))
+				got := 0
+				if ka < kb {
+					got = -1
+				} else if ka > kb {
+					got = 1
+				}
+				if got != want {
+					t.Fatalf("int keys disagree with Compare: %v+%g vs %v+%g: key %d, Compare %d",
+						a, offs[0], b, offs[1], got, want)
+				}
+			}
+		}
+	}
+	for _, offs := range [][2]float64{{0, 0}, {0.5, 0}, {0, -2.75}, {1.5, 1.5}} {
+		for _, a := range floats {
+			for _, b := range floats {
+				ka, kb := SortKeyFloat(a, offs[0]), SortKeyFloat(b, offs[1])
+				want := Compare(a.Add(offs[0]), b.Add(offs[1]))
+				got := 0
+				if ka < kb {
+					got = -1
+				} else if ka > kb {
+					got = 1
+				}
+				if got != want {
+					t.Fatalf("float keys disagree with Compare: %v+%g vs %v+%g: key %d, Compare %d",
+						a, offs[0], b, offs[1], got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSortKeyNullIsMinimum(t *testing.T) {
+	if SortKeyInt(Null(), 5) != NullSortKey || SortKeyFloat(Null(), -2.5) != NullSortKey {
+		t.Error("NULL key moved by offset")
+	}
+	if SortKeyFloat(Float(math.Inf(-1)), 0) <= NullSortKey {
+		t.Error("-Inf does not sort above NULL")
+	}
+	if SortKeyInt(Int(math.MinInt64+1), 0) <= NullSortKey {
+		t.Error("near-minimal int does not sort above NULL")
+	}
+}
+
+func TestSortKeyNegativeZero(t *testing.T) {
+	if SortKeyFloat(Float(math.Copysign(0, -1)), 0) != SortKeyFloat(Float(0), 0) {
+		t.Error("-0.0 and +0.0 keys differ")
+	}
+}
