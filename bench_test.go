@@ -22,6 +22,7 @@ import (
 	"repro/internal/predicate"
 	"repro/internal/query"
 	"repro/internal/relation"
+	"repro/internal/workloads"
 )
 
 func runExperiment(b *testing.B, id string) {
@@ -370,6 +371,82 @@ func BenchmarkConcurrentPlan(b *testing.B) {
 					b.Fatalf("expected overlap, got MaxConcurrentJobs=%d", res.MaxConcurrentJobs)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkStringJoinJob is the end-to-end companion of
+// internal/core's BenchmarkStringJoin: the same interned vs Compare
+// fallback ablation run as whole MapReduce jobs on the mobile
+// workload, so the shuffle-byte win shows up alongside the reducer
+// speedup (shuffle-MB/op reports the per-iteration network volume).
+// Job ns/op mixes map, shuffle and output materialisation with the
+// condition evaluation; the reducer-only factor is what
+// BenchmarkStringJoin isolates.
+func BenchmarkStringJoinJob(b *testing.B) {
+	mkDB := func(interned bool, tuples int) *core.DB {
+		prev := core.StringInterning
+		core.StringInterning = interned
+		defer func() { core.StringInterning = prev }()
+		cfg := workloads.DefaultMobileConfig()
+		cfg.Tuples = tuples
+		cfg.Stations = 200
+		db, err := workloads.MobileDB(cfg, 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return db
+	}
+	equiConds := predicate.Conjunction{
+		predicate.C("t1", "bs", predicate.EQ, "t2", "bs"),
+		predicate.C("t1", "bt", predicate.LT, "t2", "bt"),
+	}
+	bandConds := predicate.Conjunction{
+		predicate.C("t1", "bs", predicate.LE, "t3", "bs"),
+		predicate.C("t2", "bs", predicate.GE, "t3", "bs"),
+		predicate.C("t1", "d", predicate.EQ, "t2", "d"),
+	}
+	for _, v := range []struct {
+		name     string
+		interned bool
+		tuples   int
+		rels     []string
+		conds    predicate.Conjunction
+	}{
+		// The 3-way band touches cubically many combinations, so it
+		// runs on a smaller table than the pairwise equi-join.
+		{"string-equi/interned", true, 3000, []string{"t1", "t2"}, equiConds},
+		{"string-equi/fallback", false, 3000, []string{"t1", "t2"}, equiConds},
+		{"string-band/interned", true, 240, []string{"t1", "t2", "t3"}, bandConds},
+		{"string-band/fallback", false, 240, []string{"t1", "t2", "t3"}, bandConds},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			db := mkDB(v.interned, v.tuples)
+			rels := make([]*relation.Relation, len(v.rels))
+			for i, name := range v.rels {
+				r, err := db.Relation(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rels[i] = r
+			}
+			job, _, err := core.BuildThetaJob("sjbench", rels, v.conds, 4, 1<<12)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := mr.DefaultConfig()
+			cfg.TuplesPerMapTask = 2048
+			var shuffleBytes int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := mr.Run(context.Background(), cfg, nil, job)
+				if err != nil {
+					b.Fatal(err)
+				}
+				shuffleBytes = res.Metrics.ShuffleBytes
+			}
+			b.ReportMetric(float64(shuffleBytes)/1e6, "shuffle-MB")
 		})
 	}
 }

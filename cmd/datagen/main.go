@@ -4,12 +4,16 @@
 //
 //	datagen -workload mobile -tuples 1000 -out calls.csv
 //	datagen -workload mobile -tuples 1000 -zipf 1.8 -out skewed.csv
+//	datagen -workload mobile -tuples 100000 -stations 1000000 -out big-dict.csv
 //	datagen -workload tpch -scale 1.0 -zipf 1.2 -dir tpch/
 //	datagen -workload flights -cities 4 -per-leg 100 -dir flights/
 //
 // -zipf sets the key-skew exponent (s > 1, larger = more skewed): the
 // mobile workload's station popularity (default 1.3) and, when set,
 // the TPC-H foreign keys custkey/partkey/suppkey (default uniform).
+// -stations sets the mobile workload's string cardinality (distinct
+// base-station names); sweeping it from 10 to 1e6 sizes the join-key
+// dictionary for the string-interning benchmarks.
 // Fixed -seed values make every skewed dataset reproducible.
 package main
 
@@ -33,6 +37,7 @@ func main() {
 func run() error {
 	workload := flag.String("workload", "mobile", "mobile | tpch | flights")
 	tuples := flag.Int("tuples", 1000, "mobile: call records to generate")
+	stations := flag.Int("stations", 0, "mobile: distinct base stations / station names (0 = default 50); sweepable 10..1e6 to size the string dictionary")
 	scale := flag.Float64("scale", 1.0, "tpch: DBGEN-style scale unit")
 	cities := flag.Int("cities", 4, "flights: cities on the route")
 	perLeg := flag.Int("per-leg", 100, "flights: flights per leg")
@@ -59,6 +64,7 @@ func run() error {
 	case "mobile":
 		cfg := workloads.DefaultMobileConfig()
 		cfg.Tuples = *tuples
+		cfg.Stations = *stations
 		cfg.Seed = *seed
 		cfg.ZipfS = *zipf
 		path := *out

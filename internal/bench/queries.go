@@ -96,8 +96,10 @@ func opsString(q *query.Query) string {
 }
 
 // comparisonRow runs one (query, volume) cell of Fig. 9/10/12/13:
-// the paper's method plus the three baselines.
-func (s *Suite) comparisonRow(q *query.Query, db *core.DB, kp int) ([]float64, error) {
+// the paper's method plus the three baselines. The returned shuffle
+// bytes are our method's total network copy volume (the interned
+// string keys make this visibly smaller than the raw-string layout).
+func (s *Suite) comparisonRow(q *query.Query, db *core.DB, kp int) ([]float64, int64, error) {
 	cfg := s.Cfg
 	if cfg.MapSlots > kp {
 		cfg.MapSlots = kp
@@ -108,7 +110,7 @@ func (s *Suite) comparisonRow(q *query.Query, db *core.DB, kp int) ([]float64, e
 	pl.Opts.MaxCells = 1 << 14
 	_, res, err := pl.Run(q, db)
 	if err != nil {
-		return nil, fmt.Errorf("our method on %s: %w", q.Name, err)
+		return nil, 0, fmt.Errorf("our method on %s: %w", q.Name, err)
 	}
 	times := []float64{res.Makespan}
 	params := pl.Params
@@ -119,11 +121,11 @@ func (s *Suite) comparisonRow(q *query.Query, db *core.DB, kp int) ([]float64, e
 	for _, st := range []baselines.Strategy{baselines.YSmart(), baselines.Hive(), baselines.Pig()} {
 		bres, err := baselines.Run(context.Background(), st, cfg, params, q, db, s.Cfg.ReduceSlots)
 		if err != nil {
-			return nil, fmt.Errorf("%s on %s: %w", st.Name, q.Name, err)
+			return nil, 0, fmt.Errorf("%s on %s: %w", st.Name, q.Name, err)
 		}
 		times = append(times, bres.TotalTime)
 	}
-	return times, nil
+	return times, res.ShuffleBytes, nil
 }
 
 // MobileComparison is Fig. 9 (kp=96) and Fig. 10 (kp=64): execution
@@ -131,7 +133,7 @@ func (s *Suite) comparisonRow(q *query.Query, db *core.DB, kp int) ([]float64, e
 func (s *Suite) MobileComparison(kp int) (*Table, error) {
 	t := &Table{
 		Title:   fmt.Sprintf("Fig %s: mobile queries, kP <= %d", figNameMobile(kp), kp),
-		Columns: []string{"Q", "volume", "Our Method(s)", "YSmart(s)", "Hive(s)", "Pig(s)"},
+		Columns: []string{"Q", "volume", "Our Method(s)", "YSmart(s)", "Hive(s)", "Pig(s)", "Shuffle(GB)"},
 	}
 	volumes := []float64{20, 100, 500}
 	queries := []int{1, 2, 3, 4}
@@ -153,12 +155,13 @@ func (s *Suite) MobileComparison(kp int) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			times, err := s.comparisonRow(q, db, kp)
+			times, shuffle, err := s.comparisonRow(q, db, kp)
 			if err != nil {
 				return nil, err
 			}
 			t.AddRow(q.Name, fmtGB(gb),
-				fmtSec(times[0]), fmtSec(times[1]), fmtSec(times[2]), fmtSec(times[3]))
+				fmtSec(times[0]), fmtSec(times[1]), fmtSec(times[2]), fmtSec(times[3]),
+				fmt.Sprintf("%.2f", float64(shuffle)/1e9))
 		}
 	}
 	return t, nil
@@ -180,7 +183,7 @@ func (s *Suite) TPCHComparison(kp int) (*Table, error) {
 	}
 	t := &Table{
 		Title:   fmt.Sprintf("Fig %s: TPC-H queries, kP <= %d", fig, kp),
-		Columns: []string{"Q", "volume", "Our Method(s)", "YSmart(s)", "Hive(s)", "Pig(s)"},
+		Columns: []string{"Q", "volume", "Our Method(s)", "YSmart(s)", "Hive(s)", "Pig(s)", "Shuffle(GB)"},
 	}
 	volumes := []float64{200, 500, 1000}
 	queries := []int{7, 17, 18, 21}
@@ -202,12 +205,13 @@ func (s *Suite) TPCHComparison(kp int) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			times, err := s.comparisonRow(q, db, kp)
+			times, shuffle, err := s.comparisonRow(q, db, kp)
 			if err != nil {
 				return nil, err
 			}
 			t.AddRow(q.Name, fmtGB(gb),
-				fmtSec(times[0]), fmtSec(times[1]), fmtSec(times[2]), fmtSec(times[3]))
+				fmtSec(times[0]), fmtSec(times[1]), fmtSec(times[2]), fmtSec(times[3]),
+				fmt.Sprintf("%.2f", float64(shuffle)/1e9))
 		}
 	}
 	return t, nil

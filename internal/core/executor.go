@@ -2,7 +2,9 @@ package core
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
+	"hash"
 	"hash/fnv"
 	"runtime"
 	"sort"
@@ -495,6 +497,27 @@ func prefixedSchema(rels []*relation.Relation) *relation.Schema {
 	return relation.MustSchema(cols...)
 }
 
+// prefixedDicts concatenates the relations' per-column dictionaries in
+// prefixedSchema's column order — the OutputDicts of a join job over
+// the ordered relations. Returns nil when no input column has one.
+func prefixedDicts(rels []*relation.Relation) []*relation.Dict {
+	var out []*relation.Dict
+	any := false
+	for _, r := range rels {
+		for i := 0; i < r.Schema.Len(); i++ {
+			d := r.DictOf(i)
+			if d != nil {
+				any = true
+			}
+			out = append(out, d)
+		}
+	}
+	if !any {
+		return nil
+	}
+	return out
+}
+
 // resolveColumn finds "relName.col" inside r: either r IS relName (a
 // base relation, bare column names) or r is a join output carrying
 // prefixed columns.
@@ -637,6 +660,7 @@ func BuildThetaJob(name string, rels []*relation.Relation, conds predicate.Conju
 		Partition:    mr.IdentityPartition,
 		OutputName:   name,
 		OutputSchema: prefixedSchema(rels),
+		OutputDicts:  prefixedDicts(rels),
 	}, part, nil
 }
 
@@ -653,6 +677,7 @@ func emptyJob(name string, rels []*relation.Relation, kr int) *mr.Job {
 		Partition:    mr.IdentityPartition,
 		OutputName:   name,
 		OutputSchema: prefixedSchema(rels),
+		OutputDicts:  prefixedDicts(rels),
 	}
 }
 
@@ -793,6 +818,7 @@ func BuildHashEquiJobSkew(name string, left, right *relation.Relation, conds pre
 		off float64
 	}
 	var lCols, rCols []keyCol
+	var codeKeys []bool
 	var oriented []predicate.Condition
 	for _, c := range conds {
 		oc := c
@@ -809,13 +835,37 @@ func BuildHashEquiJobSkew(name string, left, right *relation.Relation, conds pre
 		}
 		lCols = append(lCols, keyCol{lc, oc.LeftOffset})
 		rCols = append(rCols, keyCol{rc, oc.RightOffset})
+		// Interned shuffle keys: when both sides of a condition share
+		// the same dictionary (self-join aliases do), the 8-byte code
+		// replaces the string bytes in the composite hash. Distinct
+		// dictionaries assign unrelated codes to equal strings, so the
+		// fast path is gated on pointer identity.
+		lD, rD := left.DictOf(lc), right.DictOf(rc)
+		codeKeys = append(codeKeys, lD != nil && lD == rD)
 		oriented = append(oriented, oc)
+	}
+	// writeKeyPart appends one key column's contribution to the
+	// composite FNV hash: the dictionary code when the shared-dict fast
+	// path applies and the value is interned, the textual form
+	// otherwise. Map-side hashKey and the hot-key groupKey must agree
+	// byte-for-byte, so both go through here.
+	writeKeyPart := func(h hash.Hash64, v relation.Value, code bool) {
+		if code {
+			if c, ok := v.DictCode(); ok {
+				var cb [8]byte
+				binary.LittleEndian.PutUint64(cb[:], uint64(c))
+				h.Write(cb[:])
+				h.Write([]byte{0x1f})
+				return
+			}
+		}
+		h.Write([]byte(v.String()))
+		h.Write([]byte{0x1f})
 	}
 	hashKey := func(t relation.Tuple, cols []keyCol) uint64 {
 		h := fnv.New64a()
-		for _, kc := range cols {
-			h.Write([]byte(t[kc.col].Add(kc.off).String()))
-			h.Write([]byte{0x1f})
+		for i, kc := range cols {
+			writeKeyPart(h, t[kc.col].Add(kc.off), codeKeys[i])
 		}
 		return h.Sum64()
 	}
@@ -827,8 +877,7 @@ func BuildHashEquiJobSkew(name string, left, right *relation.Relation, conds pre
 		groupKey := func(vals []relation.Value, cols []keyCol) uint64 {
 			h := fnv.New64a()
 			for i, kc := range cols {
-				h.Write([]byte(vals[i].Add(kc.off).String()))
-				h.Write([]byte{0x1f})
+				writeKeyPart(h, vals[i].Add(kc.off), codeKeys[i])
 			}
 			return h.Sum64()
 		}
@@ -960,5 +1009,6 @@ func BuildHashEquiJobSkew(name string, left, right *relation.Relation, conds pre
 		Partitioner:  partitioner,
 		OutputName:   name,
 		OutputSchema: prefixedSchema(rels),
+		OutputDicts:  prefixedDicts(rels),
 	}, nil
 }

@@ -22,6 +22,15 @@ import (
 //     mode from predicate.CondKeyMode) — so the inner loop compares raw
 //     integers instead of calling relation.Compare(Value.Add(...), ...)
 //     per candidate;
+//   - string conditions ride the same indexes when a side's column
+//     carries an order-preserving dictionary (predicate.KeyDict):
+//     interned values key on their embedded codes, the other side
+//     probes the reference dictionary (see keycolumns.go and
+//     relation.Dict);
+//   - per step, candidate keys are extracted once per distinct
+//     (column, offset, mode, dict) recipe into contiguous []int64
+//     columns shared by all conditions reading them (the struct-of-
+//     arrays cache of keycolumns.go);
 //   - an equality condition indexes the step's candidates in a hash
 //     table keyed on the normalized key: a probe examines only the
 //     matching bucket;
@@ -29,9 +38,9 @@ import (
 //     conditions anchored on the same column (and offset) narrow the
 //     scan by binary search and intersect into a single subrange, so a
 //     band predicate (lo < x AND x < hi) costs two searches, not a scan;
-//   - string and other non-numeric conditions fall back to
-//     relation.Compare, with a Compare-sorted run (anchorRange) when
-//     they are the only handle on a step.
+//   - remaining non-keyable conditions (dictionary-less strings, mixed
+//     kinds) fall back to relation.Compare, with a Compare-sorted run
+//     (anchorRange) when they are the only handle on a step.
 //
 // Candidate iteration order is deterministic (original group order for
 // hash probes and linear scans; stable key order for sorted runs), so
@@ -53,28 +62,23 @@ import (
 // output combinations.
 var IndexedJoinEval = true
 
-// ccond is one compiled condition: a boundCond plus its key mode.
+// ccond is one compiled condition: a boundCond, its key mode and the
+// two key-extraction recipes (probe side lo, candidate side hi). hiSlot
+// indexes the candidate extractor within its step's shared key-column
+// cache. The extractors are unset for KeyGeneric conditions.
 type ccond struct {
-	bc   boundCond
-	mode predicate.KeyMode
+	bc     boundCond
+	mode   predicate.KeyMode
+	lo, hi keyExtractor
+	hiSlot int
 }
 
 // loKey extracts the probe-side normalized key from the bound partial
 // tuple.
-func (c *ccond) loKey(t relation.Tuple) int64 {
-	if c.mode == predicate.KeyInt {
-		return relation.SortKeyInt(t[c.bc.loCol], c.bc.loOff)
-	}
-	return relation.SortKeyFloat(t[c.bc.loCol], c.bc.loOff)
-}
+func (c *ccond) loKey(t relation.Tuple) int64 { return c.lo.key(t) }
 
 // hiKey extracts the candidate-side normalized key.
-func (c *ccond) hiKey(t relation.Tuple) int64 {
-	if c.mode == predicate.KeyInt {
-		return relation.SortKeyInt(t[c.bc.hiCol], c.bc.hiOff)
-	}
-	return relation.SortKeyFloat(t[c.bc.hiCol], c.bc.hiOff)
-}
+func (c *ccond) hiKey(t relation.Tuple) int64 { return c.hi.key(t) }
 
 // evalKeys applies the condition's operator to two normalized keys.
 func (c *ccond) evalKeys(lo, hi int64) bool {
@@ -98,10 +102,26 @@ type joinStep struct {
 	// genAnchor indexes the first range-comparable generic condition
 	// (usable with anchorRange when no fast index exists); -1 if none.
 	genAnchor int
+	// exts are the step's deduplicated candidate-side key extractors;
+	// ccond.hiSlot indexes into them (and into the per-group key
+	// columns built from them).
+	exts []keyExtractor
 }
 
 func (st *joinStep) empty() bool {
 	return len(st.eq) == 0 && len(st.rng) == 0 && len(st.ne) == 0 && len(st.gen) == 0
+}
+
+// slotFor registers a candidate-side extractor, returning the slot of
+// an existing equivalent one when the key column can be shared.
+func (st *joinStep) slotFor(e keyExtractor) int {
+	for i := range st.exts {
+		if st.exts[i].sameKey(&e) {
+			return i
+		}
+	}
+	st.exts = append(st.exts, e)
+	return len(st.exts) - 1
 }
 
 // joinEval is the per-job compiled plan: one joinStep per relation
@@ -114,8 +134,10 @@ type joinEval struct {
 
 // newJoinEval compiles the bound conditions of a job over its ordered
 // relations. Column kinds come from the relation schemas; a condition
-// between numeric columns gets a fast key mode, everything else goes
-// through the generic path.
+// between numeric columns gets a fast key mode, string conditions get
+// dictionary keys when either side's column carries a dictionary
+// (which then covers that whole side, making it a sound reference for
+// both), and everything else goes through the generic path.
 func newJoinEval(rels []*relation.Relation, bound []boundCond) *joinEval {
 	je := &joinEval{m: len(rels), steps: make([]joinStep, len(rels)), indexed: IndexedJoinEval}
 	for i := range je.steps {
@@ -125,8 +147,25 @@ func newJoinEval(rels []*relation.Relation, bound []boundCond) *joinEval {
 		st := &je.steps[bc.hi]
 		loKind := rels[bc.lo].Schema.Column(bc.loCol).Kind
 		hiKind := rels[bc.hi].Schema.Column(bc.hiCol).Kind
-		mode := predicate.CondKeyMode(loKind, bc.loOff, hiKind, bc.hiOff)
+		loDict := rels[bc.lo].DictOf(bc.loCol)
+		hiDict := rels[bc.hi].DictOf(bc.hiCol)
+		// The candidate side's dictionary is the preferred reference:
+		// it makes every candidate key a direct code read.
+		ref := hiDict
+		if ref == nil {
+			ref = loDict
+		}
+		mode := predicate.CondKeyModeDict(loKind, bc.loOff, hiKind, bc.hiOff, ref != nil)
 		c := ccond{bc: bc, mode: mode}
+		if mode != predicate.KeyGeneric {
+			c.lo = keyExtractor{mode: mode, col: bc.loCol, off: bc.loOff}
+			c.hi = keyExtractor{mode: mode, col: bc.hiCol, off: bc.hiOff}
+			if mode == predicate.KeyDict {
+				c.lo.dict, c.lo.direct = ref, loDict == ref
+				c.hi.dict, c.hi.direct = ref, hiDict == ref
+			}
+			c.hiSlot = st.slotFor(c.hi)
+		}
 		switch {
 		case mode == predicate.KeyGeneric:
 			if bc.op != predicate.NE && st.genAnchor < 0 {
@@ -181,7 +220,11 @@ func (je *joinEval) matchPair(l, r relation.Tuple) bool {
 // stepIndex is the lazily built per-reduce-group index of one step.
 type stepIndex struct {
 	built bool
-	// Normalized candidate keys, aligned with the step's cond lists.
+	// cols[x] is the contiguous key column of step extractor slot x
+	// (see keycolumns.go); all backed by one allocation.
+	cols [][]int64
+	// Per-condition views into cols, aligned with the step's cond
+	// lists — conditions sharing a slot alias the same column.
 	eqKeys  [][]int64
 	rngKeys [][]int64
 	neKeys  [][]int64
@@ -271,23 +314,22 @@ func (ge *groupEval) buildStep(j int) {
 		}
 		return
 	}
-	keysOf := func(cs []ccond) [][]int64 {
+	// Materialise each distinct extractor once (keycolumns.go), then
+	// alias the per-condition views into the shared columns.
+	si.cols = buildKeyColumns(st.exts, cands)
+	view := func(cs []ccond) [][]int64 {
 		if len(cs) == 0 {
 			return nil
 		}
 		out := make([][]int64, len(cs))
 		for ci := range cs {
-			ks := make([]int64, n)
-			for i, t := range cands {
-				ks[i] = cs[ci].hiKey(t)
-			}
-			out[ci] = ks
+			out[ci] = si.cols[cs[ci].hiSlot]
 		}
 		return out
 	}
-	si.eqKeys = keysOf(st.eq)
-	si.rngKeys = keysOf(st.rng)
-	si.neKeys = keysOf(st.ne)
+	si.eqKeys = view(st.eq)
+	si.rngKeys = view(st.rng)
+	si.neKeys = view(st.ne)
 	if len(st.gen) > 0 {
 		si.genVals = make([][]relation.Value, len(st.gen))
 		for ci := range st.gen {
@@ -423,19 +465,19 @@ func (ge *groupEval) candidates(j int, ctx *mr.ReduceContext) []int32 {
 		for ci := range st.rng {
 			c := &st.rng[ci]
 			pk := rngPK[ci]
-			if c.bc.hiCol != a.bc.hiCol || c.mode != a.mode {
-				folded = false
-				continue
-			}
-			if c.bc.hiOff != a.bc.hiOff {
-				// Same sorted column, different candidate offset — the
-				// usual shape of a band predicate (x < c AND x > c-w).
-				// In integer mode the fold stays sound by shifting the
-				// probe key instead (exact arithmetic; NULL keys sit at
-				// the sentinel in both encodings, and a NULL probe must
-				// not shift off it). Float keys are bit-remapped, so an
-				// additive shift does not commute with the encoding.
-				if c.mode != predicate.KeyInt {
+			if !c.hi.sameKey(&a.hi) {
+				// Same sorted integer column, different candidate
+				// offset — the usual shape of a band predicate
+				// (x < c AND x > c-w). The fold stays sound by shifting
+				// the probe key instead (exact arithmetic; NULL keys
+				// sit at the sentinel in both encodings, and a NULL
+				// probe must not shift off it). Float keys are
+				// bit-remapped, so an additive shift does not commute
+				// with the encoding; dictionary keys have no arithmetic
+				// at all but also no distinct offsets (sameKey ignores
+				// nothing they can differ by except the dictionary
+				// itself, which must match for keys to be comparable).
+				if c.mode != predicate.KeyInt || a.mode != predicate.KeyInt || c.bc.hiCol != a.bc.hiCol {
 					folded = false
 					continue
 				}

@@ -99,6 +99,29 @@ func MergeOutputs(name string, left, right *relation.Relation) (*relation.Relati
 	} else {
 		out.VolumeMultiplier = right.VolumeMultiplier
 	}
+	// Column dictionaries follow their columns: left's in place, then
+	// the kept right columns' (see relation.Relation.Dicts).
+	{
+		dicts := make([]*relation.Dict, 0, schema.Len())
+		any := false
+		for i := 0; i < left.Schema.Len(); i++ {
+			d := left.DictOf(i)
+			if d != nil {
+				any = true
+			}
+			dicts = append(dicts, d)
+		}
+		for _, ri := range rKeep {
+			d := right.DictOf(ri)
+			if d != nil {
+				any = true
+			}
+			dicts = append(dicts, d)
+		}
+		if any {
+			out.Dicts = dicts
+		}
+	}
 
 	// Hash join on the composite rid key.
 	index := make(map[string][]int, len(right.Tuples))

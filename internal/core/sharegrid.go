@@ -525,6 +525,7 @@ func BuildShareGridJobSkew(name string, rels []*relation.Relation, conds predica
 		Partition:    mr.IdentityPartition,
 		OutputName:   name,
 		OutputSchema: prefixedSchema(rels),
+		OutputDicts:  prefixedDicts(rels),
 	}, nil
 }
 

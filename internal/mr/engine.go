@@ -307,6 +307,7 @@ func Run(ctx context.Context, cfg Config, timer Timer, job *Job) (*Result, error
 	}
 	output := relation.New(job.OutputName, job.OutputSchema)
 	output.VolumeMultiplier = outMult
+	output.Dicts = append([]*relation.Dict(nil), job.OutputDicts...)
 	// Pre-size the output from the known per-reducer counts instead of
 	// growing append from nil, and release each reducer's buffer as
 	// soon as it is copied.

@@ -84,6 +84,14 @@ type Job struct {
 	OutputName   string
 	OutputSchema *relation.Schema
 
+	// OutputDicts optionally carries the per-column string
+	// dictionaries of the output relation, aligned with OutputSchema
+	// (nil entries for columns without one). Join jobs propagate their
+	// inputs' column dictionaries here so interned string values keep
+	// valid codes in the produced relation and downstream jobs retain
+	// the dictionary key fast path.
+	OutputDicts []*relation.Dict
+
 	// OutputMultiplier sets the VolumeMultiplier of the output
 	// relation; 0 defaults to the max input multiplier, which keeps
 	// modeled intermediate-result I/O proportional to modeled inputs.

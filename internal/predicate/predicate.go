@@ -226,6 +226,15 @@ const (
 	// offset — relation.Value.Add's promotion rule); both sides
 	// extract with relation.SortKeyFloat.
 	KeyFloat
+	// KeyDict: both sides string columns and at least one side carries
+	// an order-preserving dictionary (relation.Dict) covering all of
+	// its values. Both sides key against that reference dictionary —
+	// member strings via their even code keys, absent probe strings
+	// via the odd gap keys — so string equality, inequality and range
+	// conditions ride the same int64 indexes as numeric ones. Only
+	// CondKeyModeDict, which knows dictionary availability, assigns
+	// this mode.
+	KeyDict
 )
 
 // shiftedKind is the value kind a column of kind k produces after
@@ -262,6 +271,19 @@ func CondKeyMode(l relation.Kind, lOff float64, r relation.Kind, rOff float64) K
 		return KeyFloat
 	}
 	return KeyInt
+}
+
+// CondKeyModeDict is CondKeyMode extended with dictionary awareness:
+// hasDict reports whether a reference dictionary covering one full
+// side of the condition is available. String-string conditions then
+// classify as KeyDict (additive offsets are no-ops on strings, so they
+// do not block the fast path); everything else falls back to
+// CondKeyMode.
+func CondKeyModeDict(l relation.Kind, lOff float64, r relation.Kind, rOff float64, hasDict bool) KeyMode {
+	if hasDict && l == relation.KindString && r == relation.KindString {
+		return KeyDict
+	}
+	return CondKeyMode(l, lOff, r, rOff)
 }
 
 // Conjunction is a set of conditions that must all hold; the predicate

@@ -391,3 +391,24 @@ func TestCondKeyModeAgreesWithCompare(t *testing.T) {
 		}
 	}
 }
+
+func TestCondKeyModeDict(t *testing.T) {
+	s, i, f := relation.KindString, relation.KindInt, relation.KindFloat
+	cases := []struct {
+		l, r    relation.Kind
+		hasDict bool
+		want    KeyMode
+	}{
+		{s, s, true, KeyDict},
+		{s, s, false, KeyGeneric}, // no dictionary: generic fallback
+		{s, i, true, KeyGeneric},  // mixed kinds never take dict keys
+		{i, s, true, KeyGeneric},
+		{i, i, true, KeyInt}, // numeric pairs ignore hasDict
+		{f, i, true, KeyFloat},
+	}
+	for _, tc := range cases {
+		if got := CondKeyModeDict(tc.l, 0, tc.r, 0, tc.hasDict); got != tc.want {
+			t.Errorf("CondKeyModeDict(%v, %v, dict=%v) = %d, want %d", tc.l, tc.r, tc.hasDict, got, tc.want)
+		}
+	}
+}

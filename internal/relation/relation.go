@@ -22,6 +22,23 @@ type Relation struct {
 	// of 1,000 real tuples with multiplier 1,000 is charged like one
 	// million tuples of I/O while joins still run on 1,000 rows.
 	VolumeMultiplier float64
+
+	// Dicts holds the per-column order-preserving string dictionaries
+	// (nil entries for columns without one), aligned with the schema.
+	// It lives here rather than in Schema.Column so Schema.Equal keeps
+	// comparing columns by value. A column's dictionary covers every
+	// string its tuples hold; join outputs inherit their input columns'
+	// dictionaries by pointer (see InternStrings and mr.Job.OutputDicts).
+	Dicts []*Dict
+}
+
+// DictOf returns the dictionary of column ci, or nil when the column
+// has none (or ci is out of the Dicts slice).
+func (r *Relation) DictOf(ci int) *Dict {
+	if ci < 0 || ci >= len(r.Dicts) {
+		return nil
+	}
+	return r.Dicts[ci]
 }
 
 // New creates an empty relation with the given name and schema.
@@ -77,10 +94,12 @@ func (r *Relation) AvgTupleSize() float64 {
 	return float64(r.EncodedSize()) / float64(len(r.Tuples))
 }
 
-// Clone returns a copy sharing tuples (tuples are treated as immutable).
+// Clone returns a copy sharing tuples (tuples are treated as
+// immutable) and dictionaries (immutable once built).
 func (r *Relation) Clone() *Relation {
 	c := *r
 	c.Tuples = append([]Tuple(nil), r.Tuples...)
+	c.Dicts = append([]*Dict(nil), r.Dicts...)
 	return &c
 }
 
@@ -102,6 +121,12 @@ func (r *Relation) Project(name string, columns ...string) (*Relation, error) {
 	}
 	out := New(name, schema)
 	out.VolumeMultiplier = r.VolumeMultiplier
+	if len(r.Dicts) > 0 {
+		out.Dicts = make([]*Dict, len(idx))
+		for i, j := range idx {
+			out.Dicts[i] = r.DictOf(j)
+		}
+	}
 	for _, t := range r.Tuples {
 		p := make(Tuple, len(idx))
 		for i, j := range idx {
@@ -116,6 +141,7 @@ func (r *Relation) Project(name string, columns ...string) (*Relation, error) {
 func (r *Relation) Filter(name string, keep func(Tuple) bool) *Relation {
 	out := New(name, r.Schema)
 	out.VolumeMultiplier = r.VolumeMultiplier
+	out.Dicts = append([]*Dict(nil), r.Dicts...)
 	for _, t := range r.Tuples {
 		if keep(t) {
 			out.Tuples = append(out.Tuples, t)

@@ -22,6 +22,11 @@ type ColumnStats struct {
 	Max      Value
 	Distinct int // estimated via sample distinct scaling
 
+	// Dict references the column's order-preserving string dictionary
+	// when the relation was interned before analysis (see InternStrings);
+	// nil for numeric columns and un-interned string columns.
+	Dict *Dict
+
 	// Histogram over [histMin, histMax] with equal-width buckets.
 	// Only populated for numeric kinds.
 	HistMin     float64
@@ -135,7 +140,7 @@ func Analyze(r *Relation, sampleSize int, rng *rand.Rand) *TableStats {
 	}
 	for ci := 0; ci < r.Schema.Len(); ci++ {
 		col := r.Schema.Column(ci)
-		cs := &ColumnStats{Name: col.Name, Kind: col.Kind}
+		cs := &ColumnStats{Name: col.Name, Kind: col.Kind, Dict: r.DictOf(ci)}
 		distinct := make(map[string]struct{})
 		var minV, maxV Value
 		first := true

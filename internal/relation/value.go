@@ -8,6 +8,34 @@
 // and flight itineraries), and tuples carry their encoded byte size so
 // the MapReduce simulator can account I/O and network volume the same
 // way the paper's cost model does.
+//
+// # String interning
+//
+// String columns can carry an order-preserving dictionary (Dict,
+// built by InternStrings at DB.Analyze time or restored by the binary
+// codec): the column's distinct strings get dense codes assigned in
+// lexicographic order, each Value embeds its code next to the payload,
+// and join conditions over dictionary-backed columns compile to the
+// same normalized-int64 sort keys the numeric fast path uses. The
+// contract is order preservation — for members a, b of one dictionary,
+// sign(Key(a)−Key(b)) == sign(Compare(a, b)) — extended to absent
+// probe strings and NULL by the even/odd key scheme documented on
+// Dict. The generic relation.Compare fallback still applies whenever
+// the contract cannot be established: neither side of a condition
+// carries a dictionary (interning disabled, or a relation built
+// outside Analyze/the codec), the two sides have mixed kinds, or a
+// nominally-string column holds non-string values.
+//
+// # Binary codec
+//
+// WriteBinary emits interned relations in the v2 framing (magic
+// "REL2"): each column header carries a hasDict byte and, when set,
+// the dictionary's member strings; string values in dictionary columns
+// are written as uvarint(code+1), with 0 escaping to the inline string
+// layout for post-interning values absent from the dictionary.
+// Dictionary-less relations keep the v1 framing (magic "RELB"), and
+// ReadBinary accepts both magics, so files written before interning
+// existed still load. See codec.go for the exact byte layout.
 package relation
 
 import (
@@ -89,6 +117,17 @@ func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
 // fmt.Stringer method on Value; the accessor counterpart is Value.Str.)
 func Str(v string) Value { return Value{kind: KindString, s: v} }
 
+// InternedStr returns a string value carrying its order-preserving
+// dictionary code (see Dict). The code rides in the otherwise unused
+// integer payload as code+1, so the zero payload still means "not
+// interned" and the struct does not grow. Interned and plain string
+// values compare identically (Compare, Equal and String use the string
+// payload); the code only changes EncodedSize and enables the
+// dictionary key fast path.
+func InternedStr(s string, code int64) Value {
+	return Value{kind: KindString, s: s, i: code + 1}
+}
+
 // Time returns a time value with second precision.
 func Time(t time.Time) Value { return Value{kind: KindTime, i: t.Unix()} }
 
@@ -102,12 +141,29 @@ func (v Value) Kind() Kind { return v.kind }
 func (v Value) IsNull() bool { return v.kind == KindNull }
 
 // Int64 returns the integer payload. It is valid for KindInt and
-// KindTime, and truncates KindFloat.
+// KindTime, and truncates KindFloat. String values return 0 (their
+// integer payload is the dictionary code slot, see InternedStr).
 func (v Value) Int64() int64 {
-	if v.kind == KindFloat {
+	switch v.kind {
+	case KindFloat:
 		return int64(v.f)
+	case KindString:
+		return 0
+	default:
+		return v.i
 	}
-	return v.i
+}
+
+// DictCode returns the dictionary code an interned string value
+// carries (see InternedStr and Dict), or false for NULL, non-string
+// and non-interned values. The code is only meaningful relative to the
+// dictionary of the column the value came from; callers must verify
+// dictionary identity before comparing codes across relations.
+func (v Value) DictCode() (int64, bool) {
+	if v.kind == KindString && v.i > 0 {
+		return v.i - 1, true
+	}
+	return 0, false
 }
 
 // Float64 returns the numeric payload as a float. It is valid for
@@ -231,7 +287,9 @@ func (v Value) Add(c float64) Value {
 
 // EncodedSize returns the number of bytes the binary codec uses for the
 // value. The MapReduce simulator charges I/O and network cost in these
-// units.
+// units. Interned strings (see InternedStr) serialize as their varint
+// dictionary code — the interning win the shuffle-byte accounting
+// measures — while plain strings keep the v1 length-prefixed layout.
 func (v Value) EncodedSize() int {
 	switch v.kind {
 	case KindNull:
@@ -239,10 +297,23 @@ func (v Value) EncodedSize() int {
 	case KindInt, KindFloat, KindTime:
 		return 1 + 8
 	case KindString:
+		if v.i > 0 {
+			return 1 + uvarintLen(uint64(v.i))
+		}
 		return 1 + 4 + len(v.s)
 	default:
 		return 1
 	}
+}
+
+// uvarintLen is the byte length of x in unsigned varint encoding.
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
 }
 
 // ParseValue parses the textual form written by Value.String according

@@ -1,11 +1,31 @@
 package skew
 
 import (
+	"encoding/binary"
 	"math"
 	"sort"
 
 	"repro/internal/relation"
 )
+
+// countKey is the map key heavy-hitter counting buckets a value under.
+// Interned strings (relation.InternedStr) count by their fixed-width
+// dictionary code instead of the full string bytes: within one column
+// every value shares the same dictionary, so the code is a unique and
+// allocation-cheap stand-in. The 0x02 tag byte keeps code keys
+// disjoint from the textual keys of un-interned values in other
+// columns of a joint report (a raw string starting with 0x02 would
+// need the identical 9-byte layout to collide, and per column the
+// representation is uniform anyway).
+func countKey(v relation.Value) string {
+	if c, ok := v.DictCode(); ok {
+		var b [9]byte
+		b[0] = 0x02
+		binary.LittleEndian.PutUint64(b[1:], uint64(c))
+		return string(b[:])
+	}
+	return v.String()
+}
 
 // Options tune heavy-hitter detection.
 type Options struct {
@@ -137,7 +157,7 @@ func JointHotKeys(ts *relation.TableStats, r *relation.Relation, cols []string, 
 			if ci >= len(t) || t[ci].IsNull() {
 				return "", false
 			}
-			kb = append(kb, t[ci].String()...)
+			kb = append(kb, countKey(t[ci])...)
 			kb = append(kb, 0x1f)
 		}
 		return string(kb), true
@@ -235,7 +255,7 @@ func detectColumn(rows []relation.Tuple, ci, card int, exact bool, opts Options)
 			if ci >= len(t) || t[ci].IsNull() {
 				continue
 			}
-			k := t[ci].String()
+			k := countKey(t[ci])
 			if a, ok := counts[k]; ok {
 				a.n++
 			} else {
@@ -249,7 +269,7 @@ func detectColumn(rows []relation.Tuple, ci, card int, exact bool, opts Options)
 			if ci >= len(t) || t[ci].IsNull() {
 				continue
 			}
-			k := t[ci].String()
+			k := countKey(t[ci])
 			if _, seen := rep[k]; !seen {
 				rep[k] = t[ci]
 			}

@@ -1,6 +1,7 @@
 package skew
 
 import (
+	"encoding/binary"
 	"hash/fnv"
 	"math"
 	"sort"
@@ -102,11 +103,20 @@ func (p *JobPlan) Hot(rel, col string) []relation.HotKey {
 func TupleHash(t relation.Tuple) uint64 {
 	h := fnv.New64a()
 	var kb [2]byte
+	var cb [8]byte
 	kb[1] = 0x1e
 	for _, v := range t {
 		kb[0] = byte(v.Kind())
 		h.Write(kb[:1])
-		h.Write([]byte(v.String()))
+		// Interned strings hash their fixed-width dictionary code
+		// instead of the string bytes: within a column every value
+		// shares one dictionary, so the code determines the string.
+		if c, ok := v.DictCode(); ok {
+			binary.LittleEndian.PutUint64(cb[:], uint64(c))
+			h.Write(cb[:])
+		} else {
+			h.Write([]byte(v.String()))
+		}
 		h.Write(kb[1:])
 	}
 	return h.Sum64()

@@ -45,7 +45,9 @@ func DefaultMobileConfig() MobileConfig {
 }
 
 // MobileSchema returns the CDR schema of §6.1: caller id, date, begin
-// time, call length, base station code.
+// time, call length, base station code — plus the station's textual
+// identifier bs (StationName of bsc), the string column the
+// dictionary-interning fast path and its benchmarks join on.
 func MobileSchema() *relation.Schema {
 	return relation.MustSchema(
 		relation.Column{Name: "id", Kind: relation.KindInt},
@@ -53,7 +55,25 @@ func MobileSchema() *relation.Schema {
 		relation.Column{Name: "bt", Kind: relation.KindInt},
 		relation.Column{Name: "l", Kind: relation.KindInt},
 		relation.Column{Name: "bsc", Kind: relation.KindInt},
+		relation.Column{Name: "bs", Kind: relation.KindString},
 	)
+}
+
+// mobileRegions are the city names station identifiers embed (the
+// paper's data set covers a Chinese province's network).
+var mobileRegions = [...]string{
+	"guangzhou", "shenzhen", "dongguan", "foshan",
+	"zhuhai", "huizhou", "zhongshan", "jiangmen",
+}
+
+// StationName renders base-station code c as the network's textual
+// cell-site identifier ("base-station-<city>-<code>"). The city
+// segment varies before the zero-padded code, so lexicographic name
+// order differs from numeric code order and string conditions genuinely
+// exercise the order-preserving dictionary rather than degenerating to
+// the integer order of bsc.
+func StationName(c int64) string {
+	return fmt.Sprintf("base-station-%s-%06d", mobileRegions[c%int64(len(mobileRegions))], c)
 }
 
 // diurnalHour draws an hour of day following the paper's observed
@@ -94,12 +114,14 @@ func MobileTable(cfg MobileConfig) *relation.Relation {
 			l = 3600
 		}
 		// Station popularity is Zipf-skewed: low codes busier.
+		bsc := int64(zipf.Uint64())
 		r.MustAppend(relation.Tuple{
 			relation.Int(int64(rng.Intn(cfg.Users))),
 			relation.Int(int64(day)),
 			relation.Int(bt),
 			relation.Int(l),
-			relation.Int(int64(zipf.Uint64())),
+			relation.Int(bsc),
+			relation.Str(StationName(bsc)),
 		})
 	}
 	applyNominal(r, cfg.NominalGB)

@@ -1,11 +1,14 @@
 package workloads
 
 import (
+	"context"
 	"math"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/mr"
 	"repro/internal/predicate"
+	"repro/internal/relation"
 )
 
 func TestMobileTableShape(t *testing.T) {
@@ -15,13 +18,14 @@ func TestMobileTableShape(t *testing.T) {
 	if r.Cardinality() != 500 {
 		t.Fatalf("cardinality = %d", r.Cardinality())
 	}
-	if r.Schema.Len() != 5 {
+	if r.Schema.Len() != 6 {
 		t.Fatalf("schema = %s", r.Schema)
 	}
 	dIdx := r.Schema.MustLookup("d")
 	btIdx := r.Schema.MustLookup("bt")
 	lIdx := r.Schema.MustLookup("l")
 	bscIdx := r.Schema.MustLookup("bsc")
+	bsIdx := r.Schema.MustLookup("bs")
 	for _, tup := range r.Tuples {
 		d := tup[dIdx].Int64()
 		if d < 0 || d >= 61 {
@@ -34,8 +38,12 @@ func TestMobileTableShape(t *testing.T) {
 		if l := tup[lIdx].Int64(); l < 10 || l > 3600 {
 			t.Fatalf("length %d out of range", l)
 		}
-		if b := tup[bscIdx].Int64(); b < 0 || b >= int64(cfg.Stations) {
+		b := tup[bscIdx].Int64()
+		if b < 0 || b >= int64(cfg.Stations) {
 			t.Fatalf("station %d out of range", b)
+		}
+		if got := tup[bsIdx].Str(); got != StationName(b) {
+			t.Fatalf("station name %q does not match code %d", got, b)
 		}
 	}
 }
@@ -373,4 +381,56 @@ func TestZipfSkewKnobs(t *testing.T) {
 	if zf < 2*uf {
 		t.Errorf("tpch zipf 1.5 custkey top frac %.3f, want >= 2x uniform %.3f", zf, uf)
 	}
+}
+
+// TestMobileInternedShuffleBytes: dictionary interning must cut the
+// mobile workload's shuffle volume by at least 30% — the varint
+// station-name codes replace ~29-byte strings in every shuffled tuple.
+// NominalGB stays 0 so VolumeMultiplier is 1 and the metric reflects
+// real encoded bytes. Flips core.StringInterning, so no t.Parallel.
+func TestMobileInternedShuffleBytes(t *testing.T) {
+	run := func(interned bool) int64 {
+		prev := core.StringInterning
+		core.StringInterning = interned
+		defer func() { core.StringInterning = prev }()
+		cfg := DefaultMobileConfig()
+		cfg.Tuples = 400
+		db, err := MobileDB(cfg, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rels := make([]*relation.Relation, 2)
+		for i, name := range []string{"t1", "t2"} {
+			r, err := db.Relation(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rels[i] = r
+		}
+		conds := []predicate.Condition{
+			predicate.C("t1", "bs", predicate.EQ, "t2", "bs"),
+			predicate.C("t1", "d", predicate.LT, "t2", "d"),
+		}
+		job, _, err := core.BuildThetaJob("mobile-bs", rels, conds, 4, 1<<12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mcfg := mr.DefaultConfig()
+		mcfg.TuplesPerMapTask = 64
+		res, err := mr.Run(context.Background(), mcfg, nil, job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Metrics.ShuffleBytes
+	}
+	plain := run(false)
+	coded := run(true)
+	if plain <= 0 || coded <= 0 {
+		t.Fatalf("no shuffle traffic: plain=%d interned=%d", plain, coded)
+	}
+	if float64(coded) > 0.7*float64(plain) {
+		t.Errorf("interned shuffle %d bytes > 70%% of plain %d (%.1f%%)",
+			coded, plain, 100*float64(coded)/float64(plain))
+	}
+	t.Logf("shuffle bytes: plain=%d interned=%d (%.1f%%)", plain, coded, 100*float64(coded)/float64(plain))
 }
