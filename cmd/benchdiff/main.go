@@ -1,13 +1,21 @@
 // Command benchdiff compares two `go test -bench` output files and
-// fails (exit 1) when any benchmark present in both regressed in
-// ns/op beyond a threshold factor. It is the CI benchmark-regression
-// smoke: cheap -benchtime 1x runs are noisy, so the threshold is
-// coarse (default 3x) and repeated runs of a benchmark (-count N)
-// aggregate by taking the minimum — the least-noisy observation.
+// fails (exit 1) when any benchmark present in both regressed beyond a
+// threshold factor — in ns/op, and (when both files carry -benchmem
+// columns) in allocs/op. It is the CI benchmark-regression smoke:
+// cheap -benchtime 1x runs are noisy, so the time threshold is coarse
+// (default 3x) and repeated runs of a benchmark (-count N) aggregate
+// by taking the minimum — the least-noisy observation. Allocation
+// counts are deterministic, so their threshold can be much tighter.
 //
 // Usage:
 //
 //	benchdiff [-threshold 3.0] base.txt head.txt
+//	benchdiff [-threshold ns=3,allocs=2] base.txt head.txt
+//
+// A bare number sets the ns/op factor only (back-compatible); the
+// key=value form sets each gate separately. An allocs gate is skipped
+// for benchmarks whose base run recorded no allocs/op column or zero
+// allocations.
 //
 // Benchmarks only present in one file (new or deleted) are ignored.
 package main
@@ -22,36 +30,95 @@ import (
 	"strings"
 )
 
-// parseBench extracts name → min ns/op from a `go test -bench` output
-// file. Lines look like:
+// benchVal is one benchmark's aggregated observation: min ns/op over
+// repeated runs, and the allocs/op of that same minimum-time run
+// (hasAllocs marks whether the column was present at all).
+type benchVal struct {
+	ns        float64
+	allocs    float64
+	hasAllocs bool
+}
+
+// thresholds carries the per-metric regression gates. A zero factor
+// disables that gate.
+type thresholds struct {
+	ns     float64
+	allocs float64
+}
+
+// parseThresholds accepts either a bare factor ("3" — ns/op only,
+// back-compatible) or a comma-separated key=value list
+// ("ns=3,allocs=2") naming the gates explicitly.
+func parseThresholds(s string) (thresholds, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return thresholds{}, fmt.Errorf("empty threshold")
+	}
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		if v <= 0 {
+			return thresholds{}, fmt.Errorf("threshold %q must be > 0", s)
+		}
+		return thresholds{ns: v}, nil
+	}
+	var th thresholds
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return thresholds{}, fmt.Errorf("bad threshold %q (want ns=F,allocs=F or a bare factor)", part)
+		}
+		v, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil || v <= 0 {
+			return thresholds{}, fmt.Errorf("bad threshold factor %q", part)
+		}
+		switch kv[0] {
+		case "ns":
+			th.ns = v
+		case "allocs":
+			th.allocs = v
+		default:
+			return thresholds{}, fmt.Errorf("unknown threshold metric %q (want ns or allocs)", kv[0])
+		}
+	}
+	if th.ns == 0 && th.allocs == 0 {
+		return thresholds{}, fmt.Errorf("threshold %q names no gate", s)
+	}
+	return th, nil
+}
+
+// parseBench extracts name → aggregated {ns/op, allocs/op} from a
+// `go test -bench` output file. Lines look like:
 //
-//	BenchmarkShuffle/workers=4-8   	      14	 146089017 ns/op	...
+//	BenchmarkShuffle/workers=4-8   	      14	 146089017 ns/op	33098440 B/op	   21445 allocs/op
 //
 // The trailing -N GOMAXPROCS suffix is stripped so runs from machines
-// with different core counts still match.
-func parseBench(path string) (map[string]float64, error) {
+// with different core counts still match; -count N repetitions keep
+// the minimum-time run's values.
+func parseBench(path string) (map[string]benchVal, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	out := make(map[string]float64)
+	out := make(map[string]benchVal)
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
-		// Find the "ns/op" unit and take the number before it.
-		var ns float64
+		// Find the units and take the number before each.
+		var v benchVal
 		found := false
 		for i := 2; i < len(fields); i++ {
-			if fields[i] == "ns/op" {
-				v, err := strconv.ParseFloat(fields[i-1], 64)
-				if err == nil {
-					ns, found = v, true
+			switch fields[i] {
+			case "ns/op":
+				if x, err := strconv.ParseFloat(fields[i-1], 64); err == nil {
+					v.ns, found = x, true
 				}
-				break
+			case "allocs/op":
+				if x, err := strconv.ParseFloat(fields[i-1], 64); err == nil {
+					v.allocs, v.hasAllocs = x, true
+				}
 			}
 		}
 		if !found {
@@ -63,22 +130,27 @@ func parseBench(path string) (map[string]float64, error) {
 				name = name[:i]
 			}
 		}
-		if prev, ok := out[name]; !ok || ns < prev {
-			out[name] = ns
+		if prev, ok := out[name]; !ok || v.ns < prev.ns {
+			out[name] = v
 		}
 	}
 	return out, sc.Err()
 }
 
 func main() {
-	threshold := flag.Float64("threshold", 3.0, "fail when head ns/op exceeds base ns/op by this factor")
+	thresholdFlag := flag.String("threshold", "3.0", "regression gates: a bare ns/op factor, or ns=F,allocs=F")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold f] base.txt head.txt\n")
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold f | -threshold ns=F,allocs=F] base.txt head.txt\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	if flag.NArg() != 2 {
 		flag.Usage()
+		os.Exit(2)
+	}
+	th, err := parseThresholds(*thresholdFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(2)
 	}
 	base, err := parseBench(flag.Arg(0))
@@ -113,19 +185,35 @@ func main() {
 	}
 	for _, name := range names {
 		b, h := base[name], head[name]
-		ratio := 0.0
-		if b > 0 {
-			ratio = h / b
+		nsRatio := 0.0
+		if b.ns > 0 {
+			nsRatio = h.ns / b.ns
 		}
 		status := "ok"
-		if b > 0 && ratio > *threshold {
-			status = fmt.Sprintf("REGRESSED (> %.1fx)", *threshold)
+		if th.ns > 0 && b.ns > 0 && nsRatio > th.ns {
+			status = fmt.Sprintf("REGRESSED ns/op (> %.1fx)", th.ns)
 			regressed++
 		}
-		fmt.Printf("%-*s  %14.0f  %14.0f  %6.2fx  %s\n", w, name, b, h, ratio, status)
+		allocCol := ""
+		// The allocs gate needs both sides measured and a non-zero
+		// base: a benchmark growing from 0 allocations has no ratio and
+		// is better caught by the ns gate it would also trip.
+		if b.hasAllocs && h.hasAllocs && b.allocs > 0 {
+			allocRatio := h.allocs / b.allocs
+			allocCol = fmt.Sprintf("  allocs %9.0f → %9.0f  %6.2fx", b.allocs, h.allocs, allocRatio)
+			if th.allocs > 0 && allocRatio > th.allocs {
+				if status == "ok" {
+					status = fmt.Sprintf("REGRESSED allocs/op (> %.1fx)", th.allocs)
+					regressed++
+				} else {
+					status += fmt.Sprintf(" + allocs/op (> %.1fx)", th.allocs)
+				}
+			}
+		}
+		fmt.Printf("%-*s  %14.0f  %14.0f  %6.2fx%s  %s\n", w, name, b.ns, h.ns, nsRatio, allocCol, status)
 	}
 	if regressed > 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed beyond %.1fx\n", regressed, *threshold)
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed\n", regressed)
 		os.Exit(1)
 	}
 }

@@ -18,7 +18,7 @@ func writeTemp(t *testing.T, name, content string) string {
 func TestParseBench(t *testing.T) {
 	p := writeTemp(t, "b.txt", `goos: linux
 BenchmarkShuffle/workers=4-8   	      14	 146089017 ns/op	33098440 B/op	   21445 allocs/op
-BenchmarkShuffle/workers=4-8   	      14	 140000000 ns/op	33098440 B/op	   21445 allocs/op
+BenchmarkShuffle/workers=4-8   	      14	 140000000 ns/op	33098440 B/op	   21400 allocs/op
 BenchmarkSkewedShuffle/baseline 	       1	5619440322 ns/op	         7.312 balance
 BenchmarkOther-16          	     326	   3595167 ns/op
 not a benchmark line
@@ -28,17 +28,65 @@ PASS
 	if err != nil {
 		t.Fatal(err)
 	}
-	// -count runs aggregate by min; GOMAXPROCS suffix stripped.
-	if got["BenchmarkShuffle/workers=4"] != 140000000 {
-		t.Errorf("shuffle = %v", got["BenchmarkShuffle/workers=4"])
+	// -count runs aggregate by min ns; GOMAXPROCS suffix stripped; the
+	// allocs value follows the minimum-time run.
+	shuffle := got["BenchmarkShuffle/workers=4"]
+	if shuffle.ns != 140000000 {
+		t.Errorf("shuffle ns = %v", shuffle.ns)
 	}
-	if got["BenchmarkSkewedShuffle/baseline"] != 5619440322 {
-		t.Errorf("skewed = %v", got["BenchmarkSkewedShuffle/baseline"])
+	if !shuffle.hasAllocs || shuffle.allocs != 21400 {
+		t.Errorf("shuffle allocs = %v (hasAllocs=%v), want 21400", shuffle.allocs, shuffle.hasAllocs)
 	}
-	if got["BenchmarkOther"] != 3595167 {
-		t.Errorf("other = %v", got["BenchmarkOther"])
+	if got["BenchmarkSkewedShuffle/baseline"].ns != 5619440322 {
+		t.Errorf("skewed = %v", got["BenchmarkSkewedShuffle/baseline"].ns)
+	}
+	other := got["BenchmarkOther"]
+	if other.ns != 3595167 {
+		t.Errorf("other = %v", other.ns)
+	}
+	// No -benchmem columns on that line: the allocs gate must not fire.
+	if other.hasAllocs {
+		t.Errorf("other unexpectedly has allocs: %v", other.allocs)
 	}
 	if len(got) != 3 {
 		t.Errorf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+}
+
+func TestParseThresholds(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    thresholds
+		wantErr bool
+	}{
+		{in: "3.0", want: thresholds{ns: 3}},                          // bare factor: ns-only, back-compatible
+		{in: " 2 ", want: thresholds{ns: 2}},                          // whitespace tolerated
+		{in: "ns=3,allocs=2", want: thresholds{ns: 3, allocs: 2}},     // both gates
+		{in: "allocs=1.5", want: thresholds{allocs: 1.5}},             // allocs alone
+		{in: "ns=4", want: thresholds{ns: 4}},                         // ns alone, named form
+		{in: "allocs=2,ns=3", want: thresholds{ns: 3, allocs: 2}},     // order-insensitive
+		{in: "", wantErr: true},
+		{in: "0", wantErr: true},        // non-positive factor
+		{in: "-1", wantErr: true},
+		{in: "ns=0", wantErr: true},     // non-positive named factor
+		{in: "bytes=2", wantErr: true},  // unknown metric
+		{in: "ns=abc", wantErr: true},   // unparsable factor
+		{in: "ns", wantErr: true},       // missing =value
+	}
+	for _, c := range cases {
+		got, err := parseThresholds(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("parseThresholds(%q) = %+v, want error", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseThresholds(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("parseThresholds(%q) = %+v, want %+v", c.in, got, c.want)
+		}
 	}
 }

@@ -4,21 +4,35 @@
 // Usage:
 //
 //	thetajoin -rel A=a.csv -rel B=b.csv -cond "A.x < B.y" [-cond ...] \
-//	          [-kp 96] [-explain] [-limit 20] [-out result.csv]
+//	          [-kp 96] [-explain] [-limit 20] [-out result.csv] \
+//	          [-trace f] [-metrics f] [-pprof addr]
 //
 // Each -rel flag registers a relation from a CSV file written in the
 // typed-header format (name:kind,...). Each -cond flag adds one theta
 // condition "Rel.col OP Rel.col" with OP ∈ {<, <=, =, >=, >, <>}.
+//
+// -explain prints the chosen plan, executes it, and renders the
+// per-job execution report: planned reducer counts and σ next to the
+// measured reduce tasks, wall times, shuffle volume and balance
+// ratios, with the modeled makespan and the measured wall time kept
+// explicitly apart. -trace writes Chrome trace-event JSON (open at
+// ui.perfetto.dev), -metrics the structured counters/histograms, and
+// -pprof serves live net/http/pprof endpoints during execution.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/mr"
+	"repro/internal/obs"
 	"repro/internal/predicate"
 	"repro/internal/query"
 	"repro/internal/relation"
@@ -42,10 +56,22 @@ func run() error {
 	flag.Var(&conds, "cond", `condition "A.x < B.y" (repeatable)`)
 	queryStr := flag.String("query", "", `full query, e.g. "FROM a.csv t1, b.csv t2 WHERE t1.x < t2.y" (aliases resolve against -rel names)`)
 	kp := flag.Int("kp", 96, "available processing units")
-	explain := flag.Bool("explain", false, "print the plan without executing")
+	explain := flag.Bool("explain", false, "print the plan, execute, and print the planned-vs-measured execution report")
 	limit := flag.Int("limit", 20, "max result rows to print (-1 = all)")
 	outPath := flag.String("out", "", "write full result CSV to this path")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the execution to `file` (open in Perfetto)")
+	metricsOut := flag.String("metrics", "", "write the structured metrics registry as JSON to `file`")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on `addr` (e.g. localhost:6060) during execution")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "thetajoin: -pprof: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "[pprof listening on http://%s/debug/pprof/]\n", *pprofAddr)
+	}
 
 	// A -query can alias one table several times (self-joins), so a
 	// single -rel suffices with it; -cond mode needs two relations.
@@ -130,12 +156,24 @@ func run() error {
 		return err
 	}
 	fmt.Println(plan)
-	if *explain {
-		return nil
+	// Observability sinks; metrics use the process-wide registry so
+	// context-free hot paths (dictionary probes) land in the export.
+	var o *obs.Obs
+	if *traceOut != "" || *metricsOut != "" {
+		o = &obs.Obs{Metrics: obs.Default()}
+		if *traceOut != "" {
+			o.Tracer = obs.NewTracer()
+		}
 	}
-	res, err := pl.Execute(plan, db)
+	res, err := pl.ExecuteContext(obs.NewContext(context.Background(), o), plan, db)
+	if werr := writeObs(o, *traceOut, *metricsOut); werr != nil && err == nil {
+		err = werr
+	}
 	if err != nil {
 		return err
+	}
+	if *explain {
+		fmt.Print(res.Report())
 	}
 	fmt.Printf("result: %d rows, simulated makespan %.1fs, %.2f GB shuffled\n",
 		res.Output.Cardinality(), res.Makespan, float64(res.ShuffleBytes)/1e9)
@@ -160,6 +198,38 @@ func run() error {
 		fmt.Println("full result written to", *outPath)
 	}
 	return nil
+}
+
+// writeObs flushes the trace and metrics exports when requested.
+// Nil-safe: a nil Obs (no flags) writes nothing.
+func writeObs(o *obs.Obs, tracePath, metricsPath string) error {
+	if o == nil {
+		return nil
+	}
+	if tracePath != "" {
+		if err := writeFileWith(tracePath, o.Tracer.WriteJSON); err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
+	}
+	if metricsPath != "" {
+		if err := writeFileWith(metricsPath, o.Metrics.WriteJSON); err != nil {
+			return fmt.Errorf("-metrics: %w", err)
+		}
+	}
+	return nil
+}
+
+// writeFileWith creates path and streams write into it.
+func writeFileWith(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // parseCondition parses "A.x < B.y" (whitespace-separated).

@@ -1,0 +1,85 @@
+// Command tracecheck validates that a file parses as Chrome
+// trace-event JSON: a non-empty traceEvents array whose events carry a
+// name and a known phase, with non-negative, monotonically
+// non-decreasing timestamps (metadata events excluded). CI runs it
+// over the bench smoke run's -trace output so a malformed export
+// fails the build instead of failing silently in Perfetto.
+//
+// Usage:
+//
+//	tracecheck trace.json [more.json ...]
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type traceEvent struct {
+	Name string `json:"name"`
+	Ph   string `json:"ph"`
+	Ts   int64  `json:"ts"`
+	Dur  int64  `json:"dur"`
+	Pid  int    `json:"pid"`
+	Tid  int    `json:"tid"`
+}
+
+type traceFile struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck trace.json [more.json ...]")
+		os.Exit(2)
+	}
+	for _, path := range os.Args[1:] {
+		if err := check(path); err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func check(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc traceFile
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("not valid trace-event JSON: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("traceEvents is empty")
+	}
+	spans, meta := 0, 0
+	lastTs := int64(-1)
+	for i, e := range doc.TraceEvents {
+		if e.Name == "" {
+			return fmt.Errorf("event %d has no name", i)
+		}
+		switch e.Ph {
+		case "M":
+			meta++
+			continue
+		case "X", "i", "B", "E", "b", "e", "I":
+		default:
+			return fmt.Errorf("event %d (%s) has unknown phase %q", i, e.Name, e.Ph)
+		}
+		if e.Ts < 0 || e.Dur < 0 {
+			return fmt.Errorf("event %d (%s) has negative time: ts=%d dur=%d", i, e.Name, e.Ts, e.Dur)
+		}
+		if e.Ts < lastTs {
+			return fmt.Errorf("event %d (%s) breaks timestamp monotonicity: ts=%d after %d", i, e.Name, e.Ts, lastTs)
+		}
+		lastTs = e.Ts
+		spans++
+	}
+	if spans == 0 {
+		return fmt.Errorf("trace holds only metadata events")
+	}
+	fmt.Printf("%s: ok (%d events, %d metadata)\n", path, spans, meta)
+	return nil
+}

@@ -1,7 +1,6 @@
 package bench
 
 import (
-	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -182,25 +181,25 @@ func (s *Suite) AblationSingleVsCascade() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		freeRes, err := free.Execute(freePlan, db)
+		freeRes, err := free.ExecuteContext(s.ctx(), freePlan, db)
 		if err != nil {
 			return nil, err
 		}
 		single := core.NewPlanner(cfg, kp)
 		single.Opts.MaxCells = 1 << 14
 		single.Opts.ForceSingleJob = true
-		_, singleRes, err := single.Run(q, db)
+		_, singleRes, err := single.RunContext(s.ctx(), q, db)
 		if err != nil {
 			return nil, err
 		}
 		pairwise := core.NewPlanner(cfg, kp)
 		pairwise.Opts.MaxCells = 1 << 14
 		pairwise.Opts.MaxPathLen = 1
-		_, pairRes, err := pairwise.Run(q, db)
+		_, pairRes, err := pairwise.RunContext(s.ctx(), q, db)
 		if err != nil {
 			return nil, err
 		}
-		cascade, err := baselines.Run(context.Background(), baselines.Hive(), cfg, s.params(), q, db, 0)
+		cascade, err := baselines.Run(s.ctx(), baselines.Hive(), cfg, s.params(), q, db, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -262,7 +261,7 @@ func (s *Suite) AblationFeedback() (*Table, error) {
 			pl := core.NewPlanner(s.Cfg, kr)
 			pl.Opts.DisableReplan = mode.disable
 			plan := cascadePlanFor(db, kr)
-			res, err := pl.Execute(plan, db)
+			res, err := pl.ExecuteContext(s.ctx(), plan, db)
 			if err != nil {
 				return nil, err
 			}
@@ -364,7 +363,7 @@ func (s *Suite) AblationKR() (*Table, error) {
 			if err != nil {
 				return 0, err
 			}
-			res, err := mr.Run(context.Background(), cfg, params.Timer(), job)
+			res, err := mr.Run(s.ctx(), cfg, params.Timer(), job)
 			if err != nil {
 				return 0, err
 			}

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/mr"
+	"repro/internal/obs"
 	"repro/internal/relation"
 )
 
@@ -71,6 +72,16 @@ type Suite struct {
 	// other values regenerate every experiment on fresh (but still
 	// deterministic) data.
 	Seed int64
+	// Obs, when set, threads execution tracing and metrics through
+	// every experiment's engine runs (see internal/obs). Nil disables
+	// observability at zero cost.
+	Obs *obs.Obs
+}
+
+// ctx returns the context experiments run under, carrying the suite's
+// Obs when one is set.
+func (s *Suite) ctx() context.Context {
+	return obs.NewContext(context.Background(), s.Obs)
 }
 
 // NewSuite builds a suite around the paper's cluster configuration.
@@ -171,7 +182,7 @@ func (s *Suite) Fig6() (*Table, error) {
 	for _, gb := range volumes {
 		in := sampleJoinInput("sample", 2048, 512, gb)
 		for _, kr := range krs {
-			res, err := mr.Run(context.Background(), s.Cfg, timer, selfJoinJob(in, kr))
+			res, err := mr.Run(s.ctx(), s.Cfg, timer, selfJoinJob(in, kr))
 			if err != nil {
 				return nil, err
 			}
@@ -269,7 +280,7 @@ func (s *Suite) Fig8() (*Table, error) {
 	for _, gb := range volumes {
 		in := sampleJoinInput("mob-self", 2048, 256, gb)
 		kr := 16
-		res, err := mr.Run(context.Background(), s.Cfg, timer, selfJoinJob(in, kr))
+		res, err := mr.Run(s.ctx(), s.Cfg, timer, selfJoinJob(in, kr))
 		if err != nil {
 			return nil, err
 		}

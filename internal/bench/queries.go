@@ -1,7 +1,6 @@
 package bench
 
 import (
-	"context"
 	"fmt"
 
 	"repro/internal/baselines"
@@ -108,7 +107,7 @@ func (s *Suite) comparisonRow(q *query.Query, db *core.DB, kp int) ([]float64, i
 
 	pl := core.NewPlanner(cfg, kp)
 	pl.Opts.MaxCells = 1 << 14
-	_, res, err := pl.Run(q, db)
+	_, res, err := pl.RunContext(s.ctx(), q, db)
 	if err != nil {
 		return nil, 0, fmt.Errorf("our method on %s: %w", q.Name, err)
 	}
@@ -119,7 +118,7 @@ func (s *Suite) comparisonRow(q *query.Query, db *core.DB, kp int) ([]float64, i
 	// available units kP are fewer — the k_P obliviousness the paper's
 	// Fig. 10/13 exposes.
 	for _, st := range []baselines.Strategy{baselines.YSmart(), baselines.Hive(), baselines.Pig()} {
-		bres, err := baselines.Run(context.Background(), st, cfg, params, q, db, s.Cfg.ReduceSlots)
+		bres, err := baselines.Run(s.ctx(), st, cfg, params, q, db, s.Cfg.ReduceSlots)
 		if err != nil {
 			return nil, 0, fmt.Errorf("%s on %s: %w", st.Name, q.Name, err)
 		}

@@ -13,6 +13,24 @@ import (
 	"repro/internal/relation"
 )
 
+// zeroWall strips the measured wall-clock fields from a metrics value
+// before a determinism comparison: wall times legitimately vary across
+// runs and worker counts; the determinism contract covers byte-level
+// metrics only (see mr.WallTime).
+func zeroWall(m mr.Metrics) mr.Metrics {
+	m.Wall = mr.WallTime{}
+	return m
+}
+
+// zeroWallMap is zeroWall over a JobMetrics map.
+func zeroWallMap(ms map[string]mr.Metrics) map[string]mr.Metrics {
+	out := make(map[string]mr.Metrics, len(ms))
+	for k, v := range ms {
+		out[k] = zeroWall(v)
+	}
+	return out
+}
+
 // TestExecutionDeterminism asserts the engine's core invariant: for a
 // fixed job specification, Result.Output and the byte-level Metrics
 // are identical across worker counts — the parallel partitioned
@@ -91,7 +109,7 @@ func TestExecutionDeterminism(t *testing.T) {
 				if res.Metrics.MaxReducerInput != ref.Metrics.MaxReducerInput {
 					t.Errorf("workers=%d: MaxReducerInput %d != %d", w, res.Metrics.MaxReducerInput, ref.Metrics.MaxReducerInput)
 				}
-				if !reflect.DeepEqual(res.Metrics, ref.Metrics) {
+				if !reflect.DeepEqual(zeroWall(res.Metrics), zeroWall(ref.Metrics)) {
 					t.Errorf("workers=%d: full metrics differ:\n%+v\n%+v", w, res.Metrics, ref.Metrics)
 				}
 			}

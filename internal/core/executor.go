@@ -8,8 +8,10 @@ import (
 	"hash/fnv"
 	"runtime"
 	"sort"
+	"time"
 
 	"repro/internal/mr"
+	"repro/internal/obs"
 	"repro/internal/predicate"
 	"repro/internal/relation"
 	"repro/internal/schedule"
@@ -38,6 +40,23 @@ type ExecResult struct {
 	// handling was re-derived at dispatch time from measured upstream
 	// statistics by the runtime feedback loop (see replan.go).
 	Replanned []string
+	// Wall is the MEASURED wall-clock duration of the whole execution
+	// (jobs + merge) on this machine — the real-time counterpart of the
+	// modeled Makespan. Per-job measured breakdowns live in
+	// JobMetrics[name].Wall. Wall varies between runs; determinism
+	// assertions must ignore it.
+	Wall time.Duration
+	// MergeWall is the measured wall-clock share of Wall spent in the
+	// final merge tree (modeled counterpart: MergeTime).
+	MergeWall time.Duration
+
+	// plan is the executed plan, retained so Report can print planned
+	// vs. measured values side by side. Nil for hand-built results;
+	// Report degrades gracefully.
+	plan *Plan
+	// replanJobs holds the feedback-revised copy of each replanned job
+	// (keyed by name), so Report can print the static → revised deltas.
+	replanJobs map[string]*PlannedJob
 }
 
 // Execute runs the plan under a background context; see ExecuteContext.
@@ -99,6 +118,21 @@ func (pl *Planner) ExecuteContext(ctx context.Context, plan *Plan, db *DB) (*Exe
 		return nil, err
 	}
 
+	// Observability: the dispatch loop below runs entirely on this
+	// goroutine, so one shard serves every plan-level instant/span;
+	// each mr.Run picks the Obs up from ctx and shards per worker.
+	o := obs.FromContext(ctx)
+	execStart := time.Now()
+	execShard := o.Shard("core:" + plan.Query.Name)
+	execSpan := execShard.Start("execute",
+		obs.A("query", plan.Query.Name), obs.A("jobs", len(plan.Jobs)))
+	wave := make(map[string]int, len(plan.Jobs))
+	if plan.Schedule != nil {
+		for _, p := range plan.Schedule.ExecutionOrder() {
+			wave[p.TaskID] = p.Wave
+		}
+	}
+
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -116,6 +150,7 @@ func (pl *Planner) ExecuteContext(ctx context.Context, plan *Plan, db *DB) (*Exe
 	}
 	fb := newFeedback(pl, db)
 	replanned := make(map[string]bool)
+	replanJobs := make(map[string]*PlannedJob)
 
 	type doneMsg struct {
 		idx   int
@@ -166,6 +201,9 @@ func (pl *Planner) ExecuteContext(ctx context.Context, plan *Plan, db *DB) (*Exe
 					if rj, ok := fb.replan(pj, produced); ok {
 						runJob = rj
 						replanned[pj.Name] = true
+						replanJobs[pj.Name] = rj
+						execShard.Instant("replan", obs.A("job", pj.Name),
+							obs.A("reducers", pj.Reducers), obs.A("newReducers", rj.Reducers))
 					}
 				}
 				job, cfg, err := pl.buildPlannedJob(runJob, db, produced)
@@ -174,6 +212,15 @@ func (pl *Planner) ExecuteContext(ctx context.Context, plan *Plan, db *DB) (*Exe
 					cancel()
 					break
 				}
+				// Hot-key routing decisions surface on the partitioner's
+				// own shard: the lazy grid layout runs under sync.Once
+				// inside one mr worker, so a dedicated shard stays
+				// single-writer (see skew.EquiPartitioner.Obs).
+				if ep, ok := job.Partitioner.(*skew.EquiPartitioner); ok && o.Tracing() {
+					ep.Obs = o.Shard("skew:" + pj.Name)
+				}
+				execShard.Instant("dispatch", obs.A("job", pj.Name),
+					obs.A("units", units), obs.A("wave", wave[pj.Name]))
 				started[s.idx] = true
 				free -= units
 				inflight++
@@ -207,6 +254,9 @@ func (pl *Planner) ExecuteContext(ctx context.Context, plan *Plan, db *DB) (*Exe
 		pj := &plan.Jobs[msg.idx]
 		completed[pj.Name] = true
 		produced[pj.Name] = msg.res.Output
+		execShard.Instant("complete", obs.A("job", pj.Name),
+			obs.A("shuffleBytes", msg.res.Metrics.ShuffleBytes),
+			obs.A("outTuples", msg.res.Output.Cardinality()))
 		// Measure only outputs a downstream job will actually read —
 		// the statistics pass is O(output) and pointless otherwise.
 		if !pl.Opts.DisableReplan && consumed[pj.Name] {
@@ -263,10 +313,15 @@ func (pl *Planner) ExecuteContext(ctx context.Context, plan *Plan, db *DB) (*Exe
 			mergeInputs = append(mergeInputs, outputs[i])
 		}
 	}
-	final, steps, err := MergeAll(plan.Query.Name, mergeInputs)
+	mergeStart := time.Now()
+	mergeSpan := execShard.Start("plan-merge", obs.A("inputs", len(mergeInputs)))
+	final, steps, err := mergeAll(plan.Query.Name, mergeInputs, execShard)
 	if err != nil {
+		mergeSpan.End(obs.A("error", err.Error()))
 		return nil, err
 	}
+	mergeSpan.End(obs.A("steps", len(steps)), obs.A("outTuples", final.Cardinality()))
+	res.MergeWall = time.Since(mergeStart)
 	// Charge the merge off the tree MergeAll actually performed, step
 	// by step over the real operand sizes — matching the planner's
 	// estimateMergeSteps policy rather than a plan-order chain.
@@ -282,6 +337,10 @@ func (pl *Planner) ExecuteContext(ctx context.Context, plan *Plan, db *DB) (*Exe
 	res.MergeCount = len(steps)
 	res.MergeTime = mergeTime
 	res.Makespan = sched.Makespan + mergeTime
+	res.Wall = time.Since(execStart)
+	res.plan = plan
+	res.replanJobs = replanJobs
+	execSpan.End(obs.A("makespan", res.Makespan), obs.A("outTuples", final.Cardinality()))
 	return res, nil
 }
 

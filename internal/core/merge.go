@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/relation"
 )
 
@@ -223,6 +224,13 @@ func pickMergePair(ops []mergeOperand) (bi, bj int, ok bool) {
 // "only output keys or data IDs involved" merge argument — not at its
 // materialized width, mirroring estimateMergeSteps' recurrence.
 func MergeAll(name string, outputs []*relation.Relation) (*relation.Relation, []MergeStep, error) {
+	return mergeAll(name, outputs, nil)
+}
+
+// mergeAll is MergeAll with a tracing shard: each executed pair-merge
+// records a "merge-step" span carrying operand names and sizes. The
+// executor passes its own shard; the exported MergeAll passes nil.
+func mergeAll(name string, outputs []*relation.Relation, sh *obs.Shard) (*relation.Relation, []MergeStep, error) {
 	if len(outputs) == 0 {
 		return nil, nil, fmt.Errorf("core: nothing to merge")
 	}
@@ -242,10 +250,15 @@ func MergeAll(name string, outputs []*relation.Relation) (*relation.Relation, []
 			stepName = fmt.Sprintf("%s~m%d", name, len(steps))
 		}
 		steps = append(steps, MergeStep{LeftBytes: ops[bi].bytes, RightBytes: ops[bj].bytes})
+		sp := sh.Start("merge-step",
+			obs.A("left", work[bi].Name), obs.A("right", work[bj].Name),
+			obs.A("leftBytes", ops[bi].bytes), obs.A("rightBytes", ops[bj].bytes))
 		merged, err := MergeOutputs(stepName, work[bi], work[bj])
 		if err != nil {
+			sp.End(obs.A("error", err.Error()))
 			return nil, steps, err
 		}
+		sp.End(obs.A("outTuples", merged.Cardinality()))
 		mergedOp := mergeOperand{
 			rels:  operandOf(merged).rels,
 			card:  merged.Cardinality(),

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -88,6 +89,12 @@ type PlannedJob struct {
 	Units    int // scheduler allotment
 	EstTime  float64
 	Profile  []float64 // T(k) for k = 1..KP
+
+	// SigmaFrac is the reducer-input variation coefficient the cost
+	// model charged this job (σ as a fraction of the mean reducer
+	// load), resolved at the final reducer count. Report prints it next
+	// to the measured balance ratio.
+	SigmaFrac float64
 
 	// Skew is the hot-key handling chosen for this job from the
 	// catalog's heavy-hitter reports; nil when no key is hot enough
@@ -637,6 +644,16 @@ func (pl *Planner) scheduleCover(q *query.Query, jp *joinpath.Graph, cands map[s
 			jobs[i].Skew = SkewPlanFor(db.Catalog, jobs[i].Kind, jobs[i].Conds, jobs[i].Reducers, pl.skewThreshold())
 		}
 	}
+	// Record the σ fraction the cost model charged at the final reducer
+	// count, so the execution report can print planned σ next to the
+	// measured balance ratio.
+	for i := range jobs {
+		pmax, known := 0.0, false
+		if !pl.Opts.DisableSkew && db != nil && jobs[i].Kind != KindHilbertTheta {
+			pmax, known = maxJoinHotFrac(db.Catalog, jobs[i].Conds, jobs[i].Kind)
+		}
+		jobs[i].SigmaFrac = pl.sigmaFracFor(jobs[i].Kind, jobs[i].Reducers, pmax, known)
+	}
 	return &Plan{
 		Query:             q,
 		Jobs:              jobs,
@@ -655,11 +672,18 @@ func maxIntc(a, b int) int {
 
 // Run is the one-call convenience: plan then execute.
 func (pl *Planner) Run(q *query.Query, db *DB) (*Plan, *ExecResult, error) {
+	return pl.RunContext(context.Background(), q, db)
+}
+
+// RunContext is Run under a caller context: cancellation propagates
+// into the executor, and an obs.Obs attached to ctx traces the whole
+// plan-and-execute pipeline.
+func (pl *Planner) RunContext(ctx context.Context, q *query.Query, db *DB) (*Plan, *ExecResult, error) {
 	plan, err := pl.Plan(q, db)
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := pl.Execute(plan, db)
+	res, err := pl.ExecuteContext(ctx, plan, db)
 	if err != nil {
 		return plan, nil, err
 	}

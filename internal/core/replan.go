@@ -111,6 +111,14 @@ func (fb *feedback) replan(pj *PlannedJob, produced map[string]*relation.Relatio
 	if !fb.pl.Opts.DisableSkew {
 		rj.Skew = SkewPlanFor(cat, rj.Kind, rj.Conds, rj.Reducers, threshold)
 	}
+	// Refresh the recorded σ fraction from the measured distribution,
+	// so the execution report shows the re-derived model, not the
+	// static one it replaced.
+	pmax, known := 0.0, false
+	if !fb.pl.Opts.DisableSkew && rj.Kind != KindHilbertTheta {
+		pmax, known = maxJoinHotFrac(cat, rj.Conds, rj.Kind)
+	}
+	rj.SigmaFrac = fb.pl.sigmaFracFor(rj.Kind, rj.Reducers, pmax, known)
 	return &rj, true
 }
 

@@ -39,7 +39,7 @@ func TestRunNilContext(t *testing.T) {
 // returns it.
 func TestForEachFirstError(t *testing.T) {
 	boom := errors.New("boom")
-	err := forEach(context.Background(), 4, 100, func(i int) error {
+	err := forEach(context.Background(), 4, 100, func(_, i int) error {
 		if i == 10 {
 			return boom
 		}
@@ -48,7 +48,7 @@ func TestForEachFirstError(t *testing.T) {
 	if !errors.Is(err, boom) {
 		t.Fatalf("want boom, got %v", err)
 	}
-	if err := forEach(context.Background(), 4, 100, func(int) error { return nil }); err != nil {
+	if err := forEach(context.Background(), 4, 100, func(int, int) error { return nil }); err != nil {
 		t.Fatalf("clean pool errored: %v", err)
 	}
 }

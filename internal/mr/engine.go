@@ -7,7 +7,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/relation"
 )
 
@@ -17,6 +19,21 @@ type SimTime struct {
 	MapDone     float64 // last map task finishes (J_M)
 	ShuffleDone float64 // last copy arrives
 	Total       float64 // last reduce task finishes (the job makespan T)
+}
+
+// WallTime is the MEASURED wall-clock breakdown of one run on the
+// real machine — laptop seconds, not the modeled cluster seconds of
+// SimTime. The two are deliberately separate: SimTime prices the
+// paper's 13-node cluster from byte volumes, WallTime reports where
+// this process actually spent its time, so the cost model can be
+// compared against reality phase by phase. Wall times naturally vary
+// between runs and worker counts; determinism assertions must ignore
+// them (every byte-level metric remains exactly reproducible).
+type WallTime struct {
+	Map      time.Duration // map phase: all tasks, end to end
+	Reduce   time.Duration // shuffle gather + k-way merge + reduce, end to end
+	Assemble time.Duration // output assembly from the per-reducer buffers
+	Total    time.Duration // whole Run call
 }
 
 // Metrics aggregates the byte-accounting and work counters of one run.
@@ -51,6 +68,11 @@ type Metrics struct {
 	ReduceFailures int
 
 	Sim SimTime
+
+	// Wall is the measured wall-clock breakdown of this run — the
+	// real-time counterpart of the modeled Sim. Populated on every
+	// run (tracing need not be enabled).
+	Wall WallTime
 }
 
 // Result is a completed job: the output relation plus metrics.
@@ -99,6 +121,10 @@ func Run(ctx context.Context, cfg Config, timer Timer, job *Job) (*Result, error
 	if timer == nil {
 		timer = NewStdTimer(cfg)
 	}
+	o := obs.FromContext(ctx)
+	wallStart := time.Now()
+	jobShard := o.Shard("mr:" + job.Name)
+	jobSpan := jobShard.Start("job", obs.A("job", job.Name), obs.A("reducers", job.NumReducers))
 
 	// ---- Plan map tasks ------------------------------------------------
 	// Each map task covers one DFS block of MODELED bytes (the paper's
@@ -146,7 +172,11 @@ func Run(ctx context.Context, cfg Config, timer Timer, job *Job) (*Result, error
 	if len(tasks) == 0 {
 		// All inputs empty: an empty but well-formed result.
 		out := relation.New(job.OutputName, job.OutputSchema)
-		return &Result{Output: out, Metrics: Metrics{ReduceTasks: job.NumReducers}}, nil
+		jobSpan.End(obs.A("empty", true))
+		return &Result{Output: out, Metrics: Metrics{
+			ReduceTasks: job.NumReducers,
+			Wall:        WallTime{Total: time.Since(wallStart)},
+		}}, nil
 	}
 
 	// ---- Map phase (real execution) ------------------------------------
@@ -165,11 +195,20 @@ func Run(ctx context.Context, cfg Config, timer Timer, job *Job) (*Result, error
 	nRed := job.NumReducers
 	taskBuckets := make([][][]pair, len(tasks)) // [task][reducer] bucket
 	taskOutBytes := make([]int64, len(tasks))   // modeled map output per task
-	err := forEach(ctx, workers, len(tasks), func(ti int) error {
+	// Tracing shards are per worker goroutine: each worker owns its
+	// shard exclusively (forEach hands every index to exactly one
+	// worker), so span recording takes no lock and cannot race.
+	mapShards := workerShards(o, job.Name+"/map", workers)
+	replicated := o.Counter("mr/replicated_pairs")
+	mapStart := time.Now()
+	err := forEach(ctx, workers, len(tasks), func(w, ti int) error {
+		sh := mapShards.get(o, w)
 		task := &tasks[ti]
+		sp := sh.Start("map", obs.A("task", ti), obs.A("tuples", len(task.tuples)))
 		mapFn := job.Inputs[task.inputIdx].Map
 		buckets := make([][]pair, nRed)
 		var outBytes int64
+		var replPairs int64
 		var emitErr error
 		var routeBuf []int
 		route := func(key uint64, tag uint8, value relation.Tuple) []int {
@@ -181,6 +220,9 @@ func Run(ctx context.Context, cfg Config, timer Timer, job *Job) (*Result, error
 		}
 		emit := func(key uint64, tag uint8, value relation.Tuple) {
 			routeBuf = route(key, tag, value)
+			if len(routeBuf) > 1 {
+				replPairs += int64(len(routeBuf) - 1)
+			}
 			for _, r := range routeBuf {
 				if r < 0 || r >= nRed {
 					if emitErr == nil {
@@ -197,6 +239,7 @@ func Run(ctx context.Context, cfg Config, timer Timer, job *Job) (*Result, error
 		for _, t := range task.tuples {
 			mapFn(t, emit)
 			if emitErr != nil {
+				sp.End(obs.A("error", emitErr.Error()))
 				return emitErr
 			}
 		}
@@ -206,16 +249,21 @@ func Run(ctx context.Context, cfg Config, timer Timer, job *Job) (*Result, error
 		// (emission order within a key is preserved) and skipped when
 		// the bucket is already ordered — the common case for jobs
 		// whose keys are reducer ordinals (identity partition).
+		sortSp := sh.Start("spill-sort", obs.A("task", ti))
 		for r := range buckets {
 			sortBucket(buckets[r])
 		}
+		sortSp.End()
 		taskBuckets[ti] = buckets
 		taskOutBytes[ti] = outBytes
+		replicated.Add(replPairs)
+		sp.End(obs.A("outBytes", outBytes))
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	mapWall := time.Since(mapStart)
 
 	// ---- Shuffle + reduce (sort-free parallel per-reducer merge) -------
 	// Each reducer k-way merges its pre-sorted buckets in task order
@@ -225,11 +273,16 @@ func Run(ctx context.Context, cfg Config, timer Timer, job *Job) (*Result, error
 	// the whole run. Key-runs are handed to Reduce as zero-copy
 	// subslice views of the merged run. Reducers proceed concurrently;
 	// no global materialized map[key][]Tagged.
+	reduceStart := time.Now()
 	reducerBytes := make([]int64, nRed)
 	reducerPairs := make([]int64, nRed)
 	outs := make([][]relation.Tuple, nRed)
 	combs := make([]int64, nRed)
-	err = forEach(ctx, workers, nRed, func(r int) error {
+	reduceShards := workerShards(o, job.Name+"/reduce", workers)
+	keyRunHist := o.Histogram("mr/key_run_len")
+	err = forEach(ctx, workers, nRed, func(w, r int) error {
+		sh := reduceShards.get(o, w)
+		gatherSp := sh.Start("shuffle-copy", obs.A("reducer", r))
 		var n int
 		var bytes int64
 		srcs := make([][]pair, 0, len(taskBuckets))
@@ -248,16 +301,23 @@ func Run(ctx context.Context, cfg Config, timer Timer, job *Job) (*Result, error
 		}
 		reducerBytes[r] = bytes
 		reducerPairs[r] = int64(n)
+		gatherSp.End(obs.A("pairs", n), obs.A("bytes", bytes))
 		if n == 0 {
 			return nil
 		}
+		mergeSp := sh.Start("shuffle-merge", obs.A("reducer", r), obs.A("buckets", len(srcs)))
 		keys, vals := mergeBuckets(srcs, n)
+		mergeSp.End()
+		reduceSp := sh.Start("reduce", obs.A("reducer", r), obs.A("pairs", n))
 		rctx := &ReduceContext{}
+		runs := 0
 		for lo := 0; lo < n; {
 			hi := lo + 1
 			for hi < n && keys[hi] == keys[lo] {
 				hi++
 			}
+			keyRunHist.Observe(int64(hi - lo))
+			runs++
 			// Capacity-capped view: an accidental append inside Reduce
 			// allocates instead of overwriting the next key's values.
 			job.Reduce(keys[lo], vals[lo:hi:hi], rctx)
@@ -265,11 +325,14 @@ func Run(ctx context.Context, cfg Config, timer Timer, job *Job) (*Result, error
 		}
 		outs[r] = rctx.out
 		combs[r] = rctx.combinations
+		reduceSp.End(obs.A("keys", runs),
+			obs.A("combinations", rctx.combinations), obs.A("outTuples", len(rctx.out)))
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	reduceWall := time.Since(reduceStart)
 	var pairsEmitted, shuffleBytes int64
 	for r := 0; r < nRed; r++ {
 		pairsEmitted += reducerPairs[r]
@@ -305,6 +368,8 @@ func Run(ctx context.Context, cfg Config, timer Timer, job *Job) (*Result, error
 			}
 		}
 	}
+	asmStart := time.Now()
+	asmSpan := jobShard.Start("assemble", obs.A("reducers", nRed))
 	output := relation.New(job.OutputName, job.OutputSchema)
 	output.VolumeMultiplier = outMult
 	output.Dicts = append([]*relation.Dict(nil), job.OutputDicts...)
@@ -335,6 +400,8 @@ func Run(ctx context.Context, cfg Config, timer Timer, job *Job) (*Result, error
 		outs[r] = nil
 		combinations += combs[r]
 	}
+	asmSpan.End(obs.A("tuples", totalOut))
+	asmWall := time.Since(asmStart)
 
 	// ---- Simulated clock -------------------------------------------------
 	mapDur := make([]float64, len(tasks))
@@ -371,6 +438,23 @@ func Run(ctx context.Context, cfg Config, timer Timer, job *Job) (*Result, error
 	if shuffleBytes > 0 && nRed > 0 {
 		balance = float64(maxRed) * float64(nRed) / float64(shuffleBytes)
 	}
+
+	// Registry rollups: the per-reducer byte distributions feed the
+	// -metrics export, batched once per job (no per-tuple cost).
+	if inHist := o.Histogram("mr/reducer_input_bytes"); inHist != nil {
+		outHist := o.Histogram("mr/reducer_output_bytes")
+		for r := 0; r < nRed; r++ {
+			inHist.Observe(reducerBytes[r])
+			outHist.Observe(reducerOutBytes[r])
+		}
+	}
+	o.Counter("mr/pairs_emitted").Add(pairsEmitted)
+	o.Counter("mr/shuffle_bytes").Add(shuffleBytes)
+	o.Counter("mr/combinations_checked").Add(combinations)
+	o.Counter("mr/output_tuples").Add(int64(totalOut))
+	jobSpan.End(obs.A("shuffleBytes", shuffleBytes),
+		obs.A("outTuples", totalOut), obs.A("balance", balance))
+
 	return &Result{
 		Output: output,
 		Metrics: Metrics{
@@ -388,6 +472,12 @@ func Run(ctx context.Context, cfg Config, timer Timer, job *Job) (*Result, error
 			MapFailures:         totalMapFailures,
 			ReduceFailures:      totalReduceFailures,
 			Sim:                 sim,
+			Wall: WallTime{
+				Map:      mapWall,
+				Reduce:   reduceWall,
+				Assemble: asmWall,
+				Total:    time.Since(wallStart),
+			},
 		},
 	}, nil
 }
@@ -545,11 +635,13 @@ func simulate(mapSlots, reduceSlots int, mapDur, copyDur []float64, mapFail []in
 	return SimTime{MapDone: mapDone, ShuffleDone: shuffleDone, Total: total}
 }
 
-// forEach runs fn(i) for i in [0, n) on up to `workers` goroutines,
+// forEach runs fn(w, i) for i in [0, n) on up to `workers` goroutines,
 // stopping early on context cancellation or the first error, which is
 // propagated to the caller (worker errors take precedence over the
-// context's own error).
-func forEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+// context's own error). w is the ordinal of the goroutine running the
+// call — every i is handed to exactly one worker, so per-worker state
+// indexed by w (e.g. tracing shards) needs no synchronisation.
+func forEach(ctx context.Context, workers, n int, fn func(w, i int) error) error {
 	if n == 0 {
 		return ctx.Err()
 	}
@@ -567,26 +659,55 @@ func forEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n || ctx.Err() != nil {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := fn(w, i); err != nil {
 					once.Do(func() { firstErr = err })
 					cancel()
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if firstErr != nil {
 		return firstErr
 	}
 	return context.Cause(ctx)
+}
+
+// shardSet lazily hands out one tracing shard per forEach worker
+// ordinal. Slot w is only ever touched by worker w (forEach gives
+// every index to exactly one goroutine), so no lock is needed; a nil
+// set (tracing disabled) hands out nil shards.
+type shardSet struct {
+	name   string
+	shards []*obs.Shard
+}
+
+// workerShards sizes a shard set for `workers` forEach goroutines.
+// Returns nil (inert) when tracing is off.
+func workerShards(o *obs.Obs, name string, workers int) *shardSet {
+	if !o.Tracing() {
+		return nil
+	}
+	return &shardSet{name: name, shards: make([]*obs.Shard, workers)}
+}
+
+// get returns worker w's shard, creating it on first use. Nil-safe.
+func (ss *shardSet) get(o *obs.Obs, w int) *obs.Shard {
+	if ss == nil {
+		return nil
+	}
+	if ss.shards[w] == nil {
+		ss.shards[w] = o.Shard(fmt.Sprintf("%s w%d", ss.name, w))
+	}
+	return ss.shards[w]
 }
 
 func argminFloat(xs []float64) int {

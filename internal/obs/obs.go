@@ -1,0 +1,62 @@
+package obs
+
+import "context"
+
+// Obs bundles the two observability sinks one execution threads
+// through its stack: a span tracer and a metrics registry. Either may
+// be nil independently; a nil *Obs disables both. See the package doc
+// for the nil contract.
+type Obs struct {
+	Tracer  *Tracer
+	Metrics *Registry
+}
+
+// Shard derives a tracer shard; nil-safe on both o and o.Tracer.
+func (o *Obs) Shard(name string) *Shard {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer.Shard(name)
+}
+
+// Counter resolves a metrics counter; nil-safe.
+func (o *Obs) Counter(name string) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Counter(name)
+}
+
+// Histogram resolves a metrics histogram; nil-safe.
+func (o *Obs) Histogram(name string) *Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Histogram(name)
+}
+
+// Tracing reports whether span recording is active — the one branch
+// instrumented loops may take to skip per-worker shard bookkeeping
+// entirely when disabled.
+func (o *Obs) Tracing() bool { return o != nil && o.Tracer != nil }
+
+type ctxKey struct{}
+
+// NewContext attaches o to the context; a nil o returns ctx unchanged,
+// so downstream FromContext keeps seeing "disabled".
+func NewContext(ctx context.Context, o *Obs) context.Context {
+	if o == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, o)
+}
+
+// FromContext extracts the execution's Obs, or nil when none is
+// attached (observability disabled). Nil-safe on ctx.
+func FromContext(ctx context.Context) *Obs {
+	if ctx == nil {
+		return nil
+	}
+	o, _ := ctx.Value(ctxKey{}).(*Obs)
+	return o
+}

@@ -2,12 +2,14 @@ package skew
 
 import (
 	"encoding/binary"
+	"fmt"
 	"hash/fnv"
 	"math"
 	"sort"
 	"strings"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/relation"
 )
 
@@ -195,6 +197,13 @@ type EquiPartitioner struct {
 	// of each heavy hitter to its sub-grid.
 	Splits map[uint64]Split
 
+	// Obs, when set, records the hot-key routing layout as trace
+	// events: one "skew-layout" span around the grid computation plus a
+	// "hot-key" instant per split key. The layout is built exactly once
+	// (under layoutOnce, whichever map worker gets there first), so the
+	// shard has a single writer and recording stays race-free.
+	Obs *obs.Shard
+
 	layoutOnce sync.Once
 	layoutN    int
 	layout     map[uint64][]int
@@ -207,8 +216,16 @@ type EquiPartitioner struct {
 // (Splits, n), preserving shuffle determinism.
 func (p *EquiPartitioner) layoutFor(n int) map[uint64][]int {
 	p.layoutOnce.Do(func() {
+		sp := p.Obs.Start("skew-layout", obs.A("hotKeys", len(p.Splits)), obs.A("reducers", n))
 		p.layoutN = n
 		p.layout = gridLayout(p.Splits, n)
+		for key, slots := range p.layout {
+			p.Obs.Instant("hot-key",
+				obs.A("key", fmt.Sprintf("%#x", key)),
+				obs.A("rows", p.Splits[key].Rows), obs.A("cols", p.Splits[key].Cols),
+				obs.A("slots", fmt.Sprint(slots)))
+		}
+		sp.End(obs.A("placed", len(p.layout)))
 	})
 	if p.layoutN != n {
 		// Out-of-contract caller probing a second n: stay correct,
