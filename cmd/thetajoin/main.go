@@ -6,6 +6,12 @@
 //	thetajoin -rel A=a.csv -rel B=b.csv -cond "A.x < B.y" [-cond ...] \
 //	          [-kp 96] [-explain] [-limit 20] [-out result.csv] \
 //	          [-trace f] [-metrics f] [-pprof addr]
+//	thetajoin -server http://localhost:7077 -query "FROM A, B WHERE A.x < B.y"
+//
+// With -server the query is submitted to a running thetad daemon
+// instead of executing locally; both modes print the same
+// order-insensitive "result hash:" line, so outputs are directly
+// comparable across entry points.
 //
 // Each -rel flag registers a relation from a CSV file written in the
 // typed-header format (name:kind,...). Each -cond flag adds one theta
@@ -21,7 +27,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -36,6 +44,7 @@ import (
 	"repro/internal/predicate"
 	"repro/internal/query"
 	"repro/internal/relation"
+	"repro/internal/server"
 )
 
 type multiFlag []string
@@ -62,7 +71,15 @@ func run() error {
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the execution to `file` (open in Perfetto)")
 	metricsOut := flag.String("metrics", "", "write the structured metrics registry as JSON to `file`")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on `addr` (e.g. localhost:6060) during execution")
+	serverURL := flag.String("server", "", "submit -query to a running thetad at `url` (e.g. http://localhost:7077) instead of executing locally")
 	flag.Parse()
+
+	if *serverURL != "" {
+		if *queryStr == "" {
+			return fmt.Errorf("-server needs a -query")
+		}
+		return submitRemote(*serverURL, *queryStr, *limit)
+	}
 
 	if *pprofAddr != "" {
 		go func() {
@@ -177,6 +194,7 @@ func run() error {
 	}
 	fmt.Printf("result: %d rows, simulated makespan %.1fs, %.2f GB shuffled\n",
 		res.Output.Cardinality(), res.Makespan, float64(res.ShuffleBytes)/1e9)
+	fmt.Println("result hash:", server.ResultHash(res))
 	shown := 0
 	for _, t := range res.Output.Tuples {
 		if *limit >= 0 && shown >= *limit {
@@ -196,6 +214,45 @@ func run() error {
 			return err
 		}
 		fmt.Println("full result written to", *outPath)
+	}
+	return nil
+}
+
+// submitRemote posts the query to a thetad daemon and prints the
+// response in the same shape as a local run, so result hashes are
+// directly comparable across the two entry points.
+func submitRemote(base, spec string, limit int) error {
+	body, err := json.Marshal(server.Request{Spec: spec, Limit: limit})
+	if err != nil {
+		return err
+	}
+	httpResp, err := http.Post(strings.TrimRight(base, "/")+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 4096))
+		return fmt.Errorf("server: %s: %s", httpResp.Status, strings.TrimSpace(string(msg)))
+	}
+	var resp server.Response
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return err
+	}
+	fmt.Printf("query %s: canonical %q\n", resp.Name, resp.Canonical)
+	fmt.Printf("plan: cache hit %v, planned in %.2fms, budget %d units", resp.CacheHit, float64(resp.PlanNs)/1e6, resp.Budget)
+	if len(resp.WarmRevised) > 0 {
+		fmt.Printf(", warm-revised %v", resp.WarmRevised)
+	}
+	fmt.Println()
+	fmt.Printf("result: %d rows, simulated makespan %.1fs, %.2f GB shuffled\n",
+		resp.Rows, resp.Makespan, float64(resp.ShuffleBytes)/1e9)
+	fmt.Println("result hash:", resp.ResultHash)
+	for _, t := range resp.Tuples {
+		fmt.Println(t)
+	}
+	if rest := resp.Rows - len(resp.Tuples); rest > 0 && limit >= 0 {
+		fmt.Printf("... (%d more rows)\n", rest)
 	}
 	return nil
 }

@@ -21,6 +21,11 @@ type DB struct {
 	rels    map[string]*relation.Relation
 	aliasOf map[string]string
 	Catalog *relation.Catalog
+
+	// analyzeGen counts Analyze runs and version caches the catalog
+	// version computed by the last one (see CatalogVersion).
+	analyzeGen uint64
+	version    uint64
 }
 
 // BaseName resolves an alias to the relation it was created from;
@@ -91,6 +96,73 @@ func (db *DB) Analyze(sampleSize int, seed int64) {
 	}
 	db.Catalog = relation.NewCatalog(all, sampleSize, rand.New(rand.NewSource(seed)))
 	skew.AnnotateCatalog(db.Catalog, all, skew.DefaultOptions())
+	db.analyzeGen++
+	db.version = catalogVersion(db.Catalog.Fingerprint(), db.analyzeGen)
+}
+
+// catalogVersion mixes the statistics fingerprint with the analyze
+// generation into one cache-key component.
+func catalogVersion(fingerprint, gen uint64) uint64 {
+	const prime64 = 1099511628211 // FNV-1a prime
+	v := fingerprint
+	v ^= gen
+	v *= prime64
+	return v
+}
+
+// CatalogVersion identifies the statistics state plans are built from:
+// a content fingerprint of the catalog (schemas, cardinalities,
+// histograms, hot keys, samples — see relation.Catalog.Fingerprint)
+// mixed with the analyze generation. Any Analyze re-run bumps it, and
+// reloading relations with different content changes the fingerprint —
+// either way, plan-cache entries keyed on the old version stop
+// matching, so a cached plan can never outlive the statistics that
+// justified it.
+func (db *DB) CatalogVersion() uint64 { return db.version }
+
+// View returns a shallow per-query copy of the database with the given
+// aliases applied: the relation and catalog maps are copied (sharing
+// the underlying immutable relations and statistics), so concurrent
+// queries can register self-join aliases without mutating the shared
+// DB. The view keeps the base CatalogVersion — aliases are query
+// naming, not a statistics change; cache keys distinguish them through
+// the canonical query string instead.
+func (db *DB) View(aliases map[string]string) (*DB, error) {
+	v := &DB{
+		rels:       make(map[string]*relation.Relation, len(db.rels)+len(aliases)),
+		aliasOf:    make(map[string]string, len(db.aliasOf)+len(aliases)),
+		Catalog:    &relation.Catalog{Tables: make(map[string]*relation.TableStats, len(db.Catalog.Tables)+len(aliases))},
+		analyzeGen: db.analyzeGen,
+		version:    db.version,
+	}
+	for n, r := range db.rels {
+		v.rels[n] = r
+	}
+	for n, b := range db.aliasOf {
+		v.aliasOf[n] = b
+	}
+	for n, ts := range db.Catalog.Tables {
+		v.Catalog.Tables[n] = ts
+	}
+	// Alias in sorted order so error selection is deterministic when
+	// several aliases conflict.
+	names := make([]string, 0, len(aliases))
+	for a := range aliases {
+		names = append(names, a)
+	}
+	sort.Strings(names)
+	for _, a := range names {
+		if a == aliases[a] {
+			if _, ok := v.rels[a]; !ok {
+				return nil, fmt.Errorf("core: unknown relation %q", a)
+			}
+			continue
+		}
+		if err := v.Alias(a, aliases[a]); err != nil {
+			return nil, err
+		}
+	}
+	return v, nil
 }
 
 // Relation returns a registered relation.

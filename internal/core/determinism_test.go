@@ -5,9 +5,11 @@ import (
 	"math/rand"
 	"reflect"
 	"runtime"
+	"sync"
 	"testing"
 
 	"repro/internal/mr"
+	"repro/internal/obs"
 	"repro/internal/predicate"
 	"repro/internal/query"
 	"repro/internal/relation"
@@ -114,6 +116,131 @@ func TestExecutionDeterminism(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestExecutionDeterminismUnitPools asserts the UnitPool extraction
+// changed nothing observable: a full planned execution produces
+// bit-identical output and byte-level metrics whether the units come
+// from the default plan-private pool, a SharedUnitPool, or a
+// budget-capped view of a shared pool (which forces different dispatch
+// interleavings by admitting fewer jobs at once).
+func TestExecutionDeterminismUnitPools(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	a := randRelation("A", 80, 20, rng)
+	b := randRelation("B", 60, 20, rng)
+	c := randRelation("C", 40, 20, rng)
+	db := newTestDB(t, a, b, c)
+	q := query.MustNew("pools", []string{"A", "B", "C"}, []predicate.Condition{
+		predicate.C("A", "a", predicate.LT, "B", "a"),
+		predicate.C("B", "b", predicate.GE, "C", "b"),
+	})
+	const kp = 8
+	plan, err := testPlanner(kp).Plan(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pools := []struct {
+		name string
+		pool UnitPool
+	}{
+		{"private", nil},
+		{"shared", NewSharedUnitPool(kp, nil)},
+		{"budget", WithBudget(NewSharedUnitPool(kp, nil), kp/2)},
+	}
+	var ref *ExecResult
+	var refName string
+	for _, tc := range pools {
+		pl := testPlanner(kp)
+		pl.Pool = tc.pool
+		res, err := pl.Execute(plan, db)
+		if err != nil {
+			t.Fatalf("%s pool: %v", tc.name, err)
+		}
+		if ref == nil {
+			ref, refName = res, tc.name
+			continue
+		}
+		if !resultSet(ref.Output).Equal(resultSet(res.Output)) {
+			t.Errorf("%s vs %s pool: result sets differ (%d vs %d rows)",
+				tc.name, refName, res.Output.Cardinality(), ref.Output.Cardinality())
+		}
+		if got, want := zeroWallMap(res.JobMetrics), zeroWallMap(ref.JobMetrics); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s vs %s pool: job metrics differ:\n%+v\n%+v", tc.name, refName, got, want)
+		}
+		if res.ShuffleBytes != ref.ShuffleBytes {
+			t.Errorf("%s vs %s pool: ShuffleBytes %d != %d", tc.name, refName, res.ShuffleBytes, ref.ShuffleBytes)
+		}
+	}
+	// The shared pools must have drained back to empty.
+	for _, tc := range pools[1:] {
+		var shared *SharedUnitPool
+		switch p := tc.pool.(type) {
+		case *SharedUnitPool:
+			shared = p
+		default:
+			continue
+		}
+		if n := shared.InUse(); n != 0 {
+			t.Errorf("%s pool leaked %d units", tc.name, n)
+		}
+	}
+}
+
+// TestSharedPoolCrossPlanCap executes two plans concurrently against
+// one shared pool and asserts (via the pool's obs histogram) that
+// their combined unit holdings never exceeded the pool capacity —
+// the invariant the resident server depends on.
+func TestSharedPoolCrossPlanCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	a := randRelation("A", 80, 20, rng)
+	b := randRelation("B", 60, 20, rng)
+	db := newTestDB(t, a, b)
+	q := query.MustNew("cap", []string{"A", "B"}, []predicate.Condition{
+		predicate.C("A", "a", predicate.LT, "B", "a"),
+	})
+	const kp = 6
+	plan, err := testPlanner(kp).Plan(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	pool := NewSharedUnitPool(kp, &obs.Obs{Metrics: reg})
+	var ref *ExecResult
+	if ref, err = testPlanner(kp).Execute(plan, db); err != nil {
+		t.Fatal(err)
+	}
+	const plans = 4
+	results := make([]*ExecResult, plans)
+	errs := make([]error, plans)
+	var wg sync.WaitGroup
+	for i := 0; i < plans; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pl := testPlanner(kp)
+			pl.Pool = WithBudget(pool, kp-1)
+			results[i], errs[i] = pl.Execute(plan, db)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < plans; i++ {
+		if errs[i] != nil {
+			t.Fatalf("plan %d: %v", i, errs[i])
+		}
+		if !resultSet(ref.Output).Equal(resultSet(results[i].Output)) {
+			t.Errorf("plan %d: result differs from solo execution", i)
+		}
+	}
+	snap := reg.Histogram("core.pool.inuse").Snapshot()
+	if snap.Count == 0 {
+		t.Fatal("pool histogram recorded no acquisitions")
+	}
+	if snap.Max > int64(kp) {
+		t.Errorf("combined unit holdings peaked at %d, exceeding K_P=%d", snap.Max, kp)
+	}
+	if n := pool.InUse(); n != 0 {
+		t.Errorf("pool leaked %d units", n)
 	}
 }
 

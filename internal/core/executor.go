@@ -40,6 +40,11 @@ type ExecResult struct {
 	// handling was re-derived at dispatch time from measured upstream
 	// statistics by the runtime feedback loop (see replan.go).
 	Replanned []string
+	// Measured exports the per-intermediate statistics the feedback
+	// loop synthesized during this execution (keyed by producing job
+	// name): a resident server persists them and warm-starts later
+	// plans via Planner.WarmRevise. Nil when nothing was observed.
+	Measured map[string]MeasuredStat
 	// Wall is the MEASURED wall-clock duration of the whole execution
 	// (jobs + merge) on this machine — the real-time counterpart of the
 	// modeled Makespan. Per-job measured breakdowns live in
@@ -72,6 +77,28 @@ type execSlot struct {
 	idx   int
 	units int
 	deps  []string
+}
+
+// anyReady reports whether some unstarted placement has every
+// dependency completed — i.e. the plan is blocked on pool capacity,
+// not on its own jobs.
+func anyReady(order []execSlot, started []bool, completed map[string]bool, plan *Plan) bool {
+	for _, s := range order {
+		if started[s.idx] {
+			continue
+		}
+		ready := true
+		for _, d := range s.deps {
+			if !completed[d] {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			return true
+		}
+	}
+	return false
 }
 
 // effectiveUnits is the job's unit allotment with the shared fallback:
@@ -163,24 +190,33 @@ func (pl *Planner) ExecuteContext(ctx context.Context, plan *Plan, db *DB) (*Exe
 	completed := make(map[string]bool, len(plan.Jobs))
 	started := make([]bool, len(plan.Jobs))
 	produced := make(map[string]*relation.Relation, len(plan.Jobs))
-	free := pl.KP
+	// The unit pool arbitrates the K_P processing units. The default is
+	// plan-private (the historical semaphore); a server installs a
+	// SharedUnitPool so concurrent plans contend for one machine-wide
+	// K_P budget.
+	pool := pl.Pool
+	if pool == nil {
+		pool = newPrivatePool(pl.KP)
+	}
 	inflight, maxInflight, nDone := 0, 0, 0
 	var firstErr error
 
 	for nDone < len(order) {
+		// Fetch the pool's wake-up channel BEFORE scanning: any release
+		// by another plan after this point closes exactly this channel,
+		// so waiting on it below cannot miss a freed unit. Nil for
+		// private pools (capacity only frees via our own done channel).
+		freed := pool.Freed()
 		if firstErr == nil {
 			// Start every dispatchable placement, front to back: deps
-			// satisfied and allotment within the free units. A job whose
-			// allotment exceeds K_P is clamped, so the cluster-wide
-			// semaphore can always eventually admit it.
+			// satisfied and allotment acquired from the pool. A job whose
+			// allotment exceeds the pool capacity is clamped, so the
+			// cluster-wide semaphore can always eventually admit it.
 			for _, s := range order {
 				if started[s.idx] {
 					continue
 				}
-				units := minInt(s.units, pl.KP)
-				if units > free {
-					continue
-				}
+				units := minInt(s.units, pool.Capacity())
 				ready := true
 				for _, d := range s.deps {
 					if !completed[d] {
@@ -191,6 +227,9 @@ func (pl *Planner) ExecuteContext(ctx context.Context, plan *Plan, db *DB) (*Exe
 				if !ready {
 					continue
 				}
+				if !pool.TryAcquire(units) {
+					continue
+				}
 				pj := &plan.Jobs[s.idx]
 				// Runtime feedback: when the job reads produced
 				// intermediates, re-derive its reducer count and skew
@@ -198,7 +237,7 @@ func (pl *Planner) ExecuteContext(ctx context.Context, plan *Plan, db *DB) (*Exe
 				// plan is never mutated — replan returns a copy).
 				runJob := pj
 				if !pl.Opts.DisableReplan {
-					if rj, ok := fb.replan(pj, produced); ok {
+					if rj, ok := fb.replan(pj); ok {
 						runJob = rj
 						replanned[pj.Name] = true
 						replanJobs[pj.Name] = rj
@@ -208,6 +247,7 @@ func (pl *Planner) ExecuteContext(ctx context.Context, plan *Plan, db *DB) (*Exe
 				}
 				job, cfg, err := pl.buildPlannedJob(runJob, db, produced)
 				if err != nil {
+					pool.Release(units)
 					firstErr = err
 					cancel()
 					break
@@ -222,7 +262,6 @@ func (pl *Planner) ExecuteContext(ctx context.Context, plan *Plan, db *DB) (*Exe
 				execShard.Instant("dispatch", obs.A("job", pj.Name),
 					obs.A("units", units), obs.A("wave", wave[pj.Name]))
 				started[s.idx] = true
-				free -= units
 				inflight++
 				if inflight > maxInflight {
 					maxInflight = inflight
@@ -237,12 +276,32 @@ func (pl *Planner) ExecuteContext(ctx context.Context, plan *Plan, db *DB) (*Exe
 			if firstErr != nil {
 				return nil, firstErr
 			}
+			// A ready-but-undispatched job with nothing of ours in flight
+			// means a shared pool's capacity is held by other plans: wait
+			// for any release, then rescan. A private pool can't get here
+			// with a ready job (idle capacity always admits the clamped
+			// allotment), so freed == nil falls through to the stall error.
+			if freed != nil && anyReady(order, started, completed, plan) {
+				select {
+				case <-freed:
+					continue
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			}
 			return nil, fmt.Errorf("core: plan %s stalled with %d/%d jobs done (dependency cycle?)",
 				plan.Query.Name, nDone, len(order))
 		}
-		msg := <-done
+		var msg doneMsg
+		select {
+		case msg = <-done:
+		case <-freed:
+			// Another plan released units (freed is nil — blocking forever
+			// — for private pools): rescan for newly admissible jobs.
+			continue
+		}
 		inflight--
-		free += msg.units
+		pool.Release(msg.units)
 		if msg.err != nil {
 			if firstErr == nil {
 				firstErr = msg.err
@@ -272,6 +331,7 @@ func (pl *Planner) ExecuteContext(ctx context.Context, plan *Plan, db *DB) (*Exe
 	res := &ExecResult{
 		JobMetrics:        make(map[string]mr.Metrics, len(plan.Jobs)),
 		MaxConcurrentJobs: maxInflight,
+		Measured:          fb.measured(),
 	}
 	outputs := make([]*relation.Relation, len(plan.Jobs))
 	tasks := make([]schedule.Task, 0, len(plan.Jobs))

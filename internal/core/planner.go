@@ -66,6 +66,14 @@ type Planner struct {
 	Params cost.Params
 	KP     int // available processing units
 	Opts   PlanOptions
+
+	// Pool arbitrates the processing units at execution time. Nil (the
+	// default) gives the plan a private K_P-unit pool — the one-shot
+	// batch behavior. A server installs a SharedUnitPool (optionally
+	// budget-capped per query via WithBudget) so concurrent plans
+	// contend for one machine-wide K_P instead of each assuming it owns
+	// the cluster.
+	Pool UnitPool
 }
 
 // NewPlanner builds a planner with kP processing units.

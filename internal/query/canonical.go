@@ -1,0 +1,87 @@
+package query
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Canonical renders a parsed query back into the Parse grammar in a
+// normalized form, so that textually different but equivalent
+// submissions produce one string — the plan-cache key. aliases is the
+// alias → table map Parse returned (absent entries treat the relation
+// name as the table name).
+//
+// Normalizations applied:
+//   - FROM items are sorted by alias; "table table" collapses to
+//     "table".
+//   - Each condition is oriented so its lexicographically smaller
+//     rel.col operand is on the left (flipping the operator as
+//     needed), and the conjunction is sorted.
+//   - Offsets render exactly (shortest decimal round-tripping the
+//     float, no exponent notation, Inf/NaN spelled out), so
+//     Parse(Canonical(q)) reconstructs the same query: Canonical is
+//     idempotent across a parse round trip (FuzzParse holds this).
+func Canonical(q *Query, aliases map[string]string) string {
+	rels := append([]string(nil), q.Relations...)
+	sort.Strings(rels)
+	var b strings.Builder
+	b.WriteString("FROM ")
+	for i, alias := range rels {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		table, ok := aliases[alias]
+		if !ok || table == "" {
+			table = alias
+		}
+		b.WriteString(table)
+		if alias != table {
+			b.WriteByte(' ')
+			b.WriteString(alias)
+		}
+	}
+	b.WriteString(" WHERE ")
+	conds := make([]string, 0, len(q.Conditions))
+	for _, c := range q.Conditions {
+		if c.Right+"."+c.RightColumn < c.Left+"."+c.LeftColumn {
+			c = c.Reversed()
+		}
+		conds = append(conds,
+			canonicalOperand(c.Left, c.LeftColumn, c.LeftOffset)+
+				" "+c.Op.String()+" "+
+				canonicalOperand(c.Right, c.RightColumn, c.RightOffset))
+	}
+	sort.Strings(conds)
+	b.WriteString(strings.Join(conds, " AND "))
+	return b.String()
+}
+
+// canonicalOperand renders "rel.col" with an exact, re-parseable
+// additive constant. Condition.String's %+g is for humans — its
+// exponent notation ("1e-07") does not tokenize — so the cache key
+// spells the offset in plain decimal with a separated sign token.
+func canonicalOperand(rel, col string, off float64) string {
+	s := rel + "." + col
+	if off == 0 {
+		// Covers -0.0 too: an additive -0 is indistinguishable from no
+		// offset in every comparison, so it normalizes away.
+		return s
+	}
+	sign := " + "
+	if math.Signbit(off) && !math.IsNaN(off) {
+		sign = " - "
+	}
+	mag := math.Abs(off)
+	var num string
+	switch {
+	case math.IsInf(mag, 1):
+		num = "Inf"
+	case math.IsNaN(mag):
+		num = "NaN"
+	default:
+		num = strconv.FormatFloat(mag, 'f', -1, 64)
+	}
+	return s + sign + num
+}

@@ -1,0 +1,94 @@
+package query
+
+import (
+	"testing"
+)
+
+// FuzzParse asserts the parser's two safety properties over arbitrary
+// input: it never panics, and every accepted spec survives a canonical
+// round trip — Canonical(q) re-parses successfully and canonicalizes
+// to the same string (the fixed point the plan cache keys on).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"FROM a t1, a t2 WHERE t1.x < t2.y",
+		"FROM calls t1, calls t2, calls t3 WHERE t1.bt <= t2.bt AND t2.bsc = t3.bsc",
+		"FROM a, b WHERE a.x + 3 > b.y - 0.25",
+		"FROM a, b WHERE a.x + 0.0000001 <> b.y",
+		"FROM a, b WHERE b.y >= a.x + 1e5",
+		"FROM a, b WHERE a.x + inf = b.y AND a.x <> b.z",
+		"FROM a, b WHERE a.x + nan = b.y",
+		"from lineitem l1, lineitem l2 where l1.k = l2.k",
+		"FROM a,b,c WHERE a.x=b.x AND b.y=c.y",
+		"FROM a b WHERE",
+		"FROM WHERE",
+		", , + - <> !=",
+		"FROM a, b WHERE a.x ! b.y",
+		"FROM a, b WHERE a.x < b.y AND",
+		"FROM a, b WHERE a.x < b.y trailing",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		q, aliases, err := Parse("fuzz", spec)
+		if err != nil {
+			return
+		}
+		canon := Canonical(q, aliases)
+		q2, a2, err := Parse("fuzz", canon)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\nspec:  %q\ncanon: %q", err, spec, canon)
+		}
+		if again := Canonical(q2, a2); again != canon {
+			t.Fatalf("canonical form not a fixed point:\nspec:  %q\nonce:  %q\ntwice: %q", spec, canon, again)
+		}
+		if len(q2.Relations) != len(q.Relations) || len(q2.Conditions) != len(q.Conditions) {
+			t.Fatalf("round trip changed shape: %d/%d relations, %d/%d conditions\nspec: %q\ncanon: %q",
+				len(q.Relations), len(q2.Relations), len(q.Conditions), len(q2.Conditions), spec, canon)
+		}
+	})
+}
+
+// TestCanonicalNormalizes pins the normalizations Canonical promises:
+// FROM order, condition order and operand orientation all wash out,
+// while genuinely different queries keep distinct canonical forms.
+func TestCanonicalNormalizes(t *testing.T) {
+	canonOf := func(spec string) string {
+		t.Helper()
+		q, aliases, err := Parse("q", spec)
+		if err != nil {
+			t.Fatalf("%q: %v", spec, err)
+		}
+		return Canonical(q, aliases)
+	}
+	equiv := [][2]string{
+		{"FROM a, b WHERE a.x < b.y", "FROM b, a WHERE a.x < b.y"},
+		{"FROM a, b WHERE a.x < b.y", "FROM a, b WHERE b.y > a.x"},
+		{"FROM a, b, c WHERE a.x = b.x AND b.y = c.y", "FROM c, b, a WHERE c.y = b.y AND b.x = a.x"},
+		{"FROM t a, t b WHERE a.x <= b.x", "FROM t b, t a WHERE b.x >= a.x"},
+		{"FROM a, b WHERE a.x - 0 = b.y", "FROM a, b WHERE a.x = b.y"},
+		{"from a, b where a.x + 2.50 < b.y", "FROM a, b WHERE a.x + 2.5 < b.y"},
+	}
+	for _, pair := range equiv {
+		if c0, c1 := canonOf(pair[0]), canonOf(pair[1]); c0 != c1 {
+			t.Errorf("want equal canonical forms:\n%q -> %q\n%q -> %q", pair[0], c0, pair[1], c1)
+		}
+	}
+	distinct := [][2]string{
+		{"FROM a, b WHERE a.x < b.y", "FROM a, b WHERE a.x <= b.y"},
+		{"FROM a, b WHERE a.x < b.y", "FROM a, b WHERE a.x < b.y AND a.z = b.z"},
+		{"FROM a, b WHERE a.x + 1 < b.y", "FROM a, b WHERE a.x - 1 < b.y"},
+		{"FROM t a, t b WHERE a.x < b.x", "FROM u a, u b WHERE a.x < b.x"},
+	}
+	for _, pair := range distinct {
+		if c0, c1 := canonOf(pair[0]), canonOf(pair[1]); c0 == c1 {
+			t.Errorf("want distinct canonical forms, both %q:\n%q\n%q", c0, pair[0], pair[1])
+		}
+	}
+	// The canonical form must carry offsets in plain decimal — %+g would
+	// render this one as "1e-07", which does not re-tokenize.
+	if c, want := canonOf("FROM a, b WHERE a.x + 0.0000001 < b.y"),
+		"FROM a, b WHERE a.x + 0.0000001 < b.y"; c != want {
+		t.Errorf("canonical offset rendering: got %q, want %q", c, want)
+	}
+}

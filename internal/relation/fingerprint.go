@@ -1,0 +1,147 @@
+package relation
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+)
+
+// fpWriter accumulates an FNV-1a fingerprint over typed fields with
+// explicit separators, so adjacent fields cannot alias ("ab"+"c" vs
+// "a"+"bc") and numeric zero is distinct from absence.
+type fpWriter struct {
+	h   interface{ Sum64() uint64 }
+	w   interface{ Write([]byte) (int, error) }
+	buf [8]byte
+}
+
+func newFPWriter() *fpWriter {
+	h := fnv.New64a()
+	return &fpWriter{h: h, w: h}
+}
+
+func (f *fpWriter) str(s string) {
+	f.u64(uint64(len(s)))
+	f.w.Write([]byte(s))
+}
+
+func (f *fpWriter) u64(v uint64) {
+	binary.LittleEndian.PutUint64(f.buf[:], v)
+	f.w.Write(f.buf[:])
+}
+
+func (f *fpWriter) i64(v int64)   { f.u64(uint64(v)) }
+func (f *fpWriter) f64(v float64) { f.u64(floatBits(v)) }
+func (f *fpWriter) value(v Value) { f.u64(uint64(v.Kind())); f.str(v.String()) }
+func (f *fpWriter) sum64() uint64 { return f.h.Sum64() }
+
+// Fingerprint returns a 64-bit content hash of the catalog: every
+// relation's schema (column names, kinds) and statistics (cardinality,
+// sizes, min/max, distinct counts, histograms, hot-key reports, sample
+// rows). Two catalogs with identical fingerprints plan identically, so
+// the fingerprint — combined with an analyze generation, see
+// core.DB.CatalogVersion — keys plan caches: reloading a relation or
+// re-analyzing with a different sample changes the fingerprint and
+// invalidates every cached plan built on the old statistics.
+func (c *Catalog) Fingerprint() uint64 {
+	if c == nil {
+		return 0
+	}
+	names := make([]string, 0, len(c.Tables))
+	for n := range c.Tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	f := newFPWriter()
+	f.u64(uint64(len(names)))
+	for _, n := range names {
+		ts := c.Tables[n]
+		f.str(n)
+		f.str(ts.Relation)
+		f.i64(int64(ts.Cardinality))
+		f.f64(ts.AvgTuple)
+		f.i64(ts.ModeledSize)
+		f.u64(uint64(len(ts.colOrder)))
+		for _, col := range ts.colOrder {
+			f.str(col)
+		}
+		// Columns in deterministic (sorted) order; colOrder may not cover
+		// map entries for hand-built stats.
+		cols := make([]string, 0, len(ts.Columns))
+		for cn := range ts.Columns {
+			cols = append(cols, cn)
+		}
+		sort.Strings(cols)
+		for _, cn := range cols {
+			cs := ts.Columns[cn]
+			f.str(cn)
+			f.str(cs.Name)
+			f.u64(uint64(cs.Kind))
+			f.i64(int64(cs.Count))
+			f.i64(int64(cs.NullCnt))
+			f.value(cs.Min)
+			f.value(cs.Max)
+			f.i64(int64(cs.Distinct))
+			f.f64(cs.HistMin)
+			f.f64(cs.HistMax)
+			f.u64(uint64(len(cs.BucketCount)))
+			for _, b := range cs.BucketCount {
+				f.i64(int64(b))
+			}
+		}
+		hkCols := make([]string, 0, len(ts.HotKeys))
+		for cn := range ts.HotKeys {
+			hkCols = append(hkCols, cn)
+		}
+		sort.Strings(hkCols)
+		f.u64(uint64(len(hkCols)))
+		for _, cn := range hkCols {
+			f.str(cn)
+			for _, hk := range ts.HotKeys[cn] {
+				f.value(hk.Value)
+				f.i64(hk.Count)
+				f.f64(hk.Frac)
+			}
+		}
+		f.u64(uint64(len(ts.SampleRows)))
+		for _, row := range ts.SampleRows {
+			for _, v := range row {
+				f.value(v)
+			}
+		}
+	}
+	return f.sum64()
+}
+
+// ContentHash returns an order-insensitive 64-bit hash of a relation's
+// content: the schema fingerprint plus a commutative combination of
+// per-tuple hashes. Two relations holding the same multiset of rows
+// under the same schema hash identically regardless of row order —
+// letting a client compare a served query result against a one-shot
+// run without shipping the rows.
+func ContentHash(r *Relation) uint64 {
+	if r == nil {
+		return 0
+	}
+	f := newFPWriter()
+	f.u64(uint64(r.Schema.Len()))
+	for i := 0; i < r.Schema.Len(); i++ {
+		col := r.Schema.Column(i)
+		f.str(col.Name)
+		f.u64(uint64(col.Kind))
+	}
+	schemaHash := f.sum64()
+	var rows uint64
+	for _, t := range r.Tuples {
+		tf := newFPWriter()
+		for _, v := range t {
+			tf.value(v)
+		}
+		rows += tf.sum64() // wrapping add: order-insensitive multiset hash
+	}
+	out := newFPWriter()
+	out.u64(schemaHash)
+	out.u64(uint64(r.Cardinality()))
+	out.u64(rows)
+	return out.sum64()
+}

@@ -1,0 +1,69 @@
+package schedule
+
+import "sync"
+
+// Arbiter apportions the machine-wide K_P processing units across
+// concurrently executing plans — the cross-plan counterpart of the
+// intra-plan placement this package computes. Each admitted query gets
+// a unit budget: its plan may hold at most that many units at once
+// (enforced by core.WithBudget over the shared pool), so one wide plan
+// cannot monopolize the cluster while others starve.
+//
+// The policy is equal share at admission time: a query entering with n
+// already active gets ⌈kP/(n+1)⌉ units, floored at minBudget (a plan
+// needs some parallelism to make progress) and capped at kP. Budgets
+// of already-running queries are not revoked — allotments on the
+// shared pool cannot be clawed back mid-job — so the shares converge
+// as queries finish and new ones are admitted. The shared pool remains
+// the hard combined cap regardless of what budgets sum to.
+type Arbiter struct {
+	mu        sync.Mutex
+	kP        int
+	minBudget int
+	active    int
+}
+
+// NewArbiter builds an arbiter over kP units with the given per-query
+// floor. A floor < 1 (or > kP) is clamped.
+func NewArbiter(kP, minBudget int) *Arbiter {
+	if kP < 1 {
+		kP = 1
+	}
+	if minBudget < 1 {
+		minBudget = 1
+	}
+	if minBudget > kP {
+		minBudget = kP
+	}
+	return &Arbiter{kP: kP, minBudget: minBudget}
+}
+
+// Admit registers one query as active and returns its unit budget.
+// Pair with Done when the query's execution finishes (or is rejected
+// downstream).
+func (a *Arbiter) Admit() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.active++
+	b := (a.kP + a.active - 1) / a.active
+	if b < a.minBudget {
+		b = a.minBudget
+	}
+	return b
+}
+
+// Done releases one Admit.
+func (a *Arbiter) Done() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.active > 0 {
+		a.active--
+	}
+}
+
+// Active reports the queries currently admitted.
+func (a *Arbiter) Active() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.active
+}

@@ -1,0 +1,81 @@
+package schedule
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestArbiterEqualShare: budgets shrink as load rises, recover as it
+// drains, and respect the floor and the kP cap throughout.
+func TestArbiterEqualShare(t *testing.T) {
+	a := NewArbiter(96, 8)
+	if got := a.Admit(); got != 96 {
+		t.Errorf("first admit: budget %d, want all 96 units", got)
+	}
+	if got := a.Admit(); got != 48 {
+		t.Errorf("second admit: budget %d, want 48", got)
+	}
+	if got := a.Admit(); got != 32 {
+		t.Errorf("third admit: budget %d, want 32", got)
+	}
+	a.Done()
+	a.Done()
+	if got := a.Admit(); got != 48 {
+		t.Errorf("after two Done: budget %d, want 48", got)
+	}
+	if got := a.Active(); got != 2 {
+		t.Errorf("Active = %d, want 2", got)
+	}
+}
+
+// TestArbiterFloor: heavy load never pushes a budget below the floor,
+// and a floor above kP clamps to kP.
+func TestArbiterFloor(t *testing.T) {
+	a := NewArbiter(16, 6)
+	for i := 0; i < 10; i++ {
+		if got := a.Admit(); got < 6 || got > 16 {
+			t.Fatalf("admit %d: budget %d outside [6, 16]", i, got)
+		}
+	}
+	if got := NewArbiter(4, 99).Admit(); got != 4 {
+		t.Errorf("floor above kP: budget %d, want 4", got)
+	}
+}
+
+// TestArbiterCeilingDivision: the equal share rounds up, so budgets
+// never collapse to zero and the shares cover kP.
+func TestArbiterCeilingDivision(t *testing.T) {
+	a := NewArbiter(10, 1)
+	want := []int{10, 5, 4, 3, 2}
+	for i, w := range want {
+		if got := a.Admit(); got != w {
+			t.Errorf("admit %d: budget %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+// TestArbiterConcurrent exercises the mutex under -race and checks
+// Done never underflows.
+func TestArbiterConcurrent(t *testing.T) {
+	a := NewArbiter(32, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b := a.Admit()
+			if b < 2 || b > 32 {
+				t.Errorf("budget %d outside [2, 32]", b)
+			}
+			a.Done()
+		}()
+	}
+	wg.Wait()
+	if got := a.Active(); got != 0 {
+		t.Errorf("Active = %d after all Done, want 0", got)
+	}
+	a.Done() // extra Done must not underflow
+	if got := a.Admit(); got != 32 {
+		t.Errorf("admit after spurious Done: budget %d, want 32", got)
+	}
+}

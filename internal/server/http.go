@@ -1,0 +1,71 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+// ResultHash renders the order-insensitive content hash of an
+// execution's output — the value both the daemon and one-shot
+// thetajoin print, so results are comparable across entry points.
+func ResultHash(res *core.ExecResult) string {
+	return fmt.Sprintf("%016x", relation.ContentHash(res.Output))
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST /query    {"name","spec"|"prepared","limit"} → Response JSON
+//	GET  /healthz  liveness (200 "ok")
+//	GET  /metrics  the obs metrics registry as JSON
+//
+// Admission rejections map to 429 (queue full — retryable with
+// backoff) and 503 (queue timeout or shutdown); malformed or failing
+// queries to 400.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := s.o.Metrics.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}
+
+func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp, err := s.Submit(r.Context(), req)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+		case errors.Is(err, ErrTimedOut), errors.Is(err, ErrClosed):
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		default:
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(resp); err != nil {
+		// Headers are gone; nothing to do but log the encode failure.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

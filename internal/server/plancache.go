@@ -1,0 +1,90 @@
+package server
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// planCache memoizes compiled plans under (canonical query string,
+// catalog version). The version component ties each entry to the
+// statistics it was planned from: a re-analyze bumps the version, so
+// stale entries simply stop being addressable (and are dropped lazily
+// on the next miss for their canonical string).
+//
+// Lookups singleflight: the first submission of a key compiles while
+// later identical submissions wait on its ready channel, so N
+// concurrent identical queries run joinpath/setcover/schedule exactly
+// once. Compile errors propagate to every waiter but are never cached —
+// the entry is removed before it is published as failed.
+type planCache struct {
+	mu      sync.Mutex
+	entries map[planKey]*planEntry
+	hits    *obs.Counter
+	misses  *obs.Counter
+}
+
+type planKey struct {
+	canonical string
+	version   uint64
+}
+
+type planEntry struct {
+	ready chan struct{} // closed when plan/err are set
+	plan  *core.Plan
+	db    *core.DB // the per-query view the plan was compiled against
+	err   error
+}
+
+func newPlanCache(o *obs.Obs) *planCache {
+	return &planCache{
+		entries: make(map[planKey]*planEntry),
+		hits:    o.Counter("server.plancache.hit"),
+		misses:  o.Counter("server.plancache.miss"),
+	}
+}
+
+// get returns the cached plan for the key, compiling it via compile on
+// a miss. hit reports whether the plan existed (or was already being
+// compiled by another submission — which still skips this caller's
+// compile).
+func (c *planCache) get(canonical string, version uint64, compile func() (*core.Plan, *core.DB, error)) (plan *core.Plan, db *core.DB, hit bool, err error) {
+	key := planKey{canonical: canonical, version: version}
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		<-e.ready
+		return e.plan, e.db, true, e.err
+	}
+	e := &planEntry{ready: make(chan struct{})}
+	c.entries[key] = e
+	// A version bump orphans every entry of older versions; drop the
+	// stale generation for this canonical string eagerly (full sweeps
+	// are unnecessary — other stale keys fall out the same way when
+	// next addressed).
+	for k := range c.entries {
+		if k.canonical == canonical && k.version != version {
+			delete(c.entries, k)
+		}
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	e.plan, e.db, e.err = compile()
+	if e.err != nil {
+		c.mu.Lock()
+		delete(c.entries, key)
+		c.mu.Unlock()
+	}
+	close(e.ready)
+	return e.plan, e.db, false, e.err
+}
+
+// Len reports the live entry count (for tests).
+func (c *planCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,473 @@
+package server
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mr"
+	"repro/internal/predicate"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/skew"
+)
+
+func randRel(name string, n, domain int, seed int64) *relation.Relation {
+	r := relation.New(name, relation.MustSchema(
+		relation.Column{Name: "a", Kind: relation.KindInt},
+		relation.Column{Name: "b", Kind: relation.KindInt},
+	))
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		r.MustAppend(relation.Tuple{
+			relation.Int(int64(rng.Intn(domain))),
+			relation.Int(int64(rng.Intn(domain))),
+		})
+	}
+	return r
+}
+
+func testDB(t *testing.T) *core.DB {
+	t.Helper()
+	db, err := core.NewDB(500, 1,
+		randRel("A", 60, 15, 3), randRel("B", 50, 15, 4), randRel("C", 40, 15, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func testMRConfig() *mr.Config {
+	cfg := mr.DefaultConfig()
+	cfg.TuplesPerMapTask = 32
+	cfg.MapSlots = 8
+	cfg.ReduceSlots = 8
+	return &cfg
+}
+
+func newTestService(t *testing.T, db *core.DB, cfg Config) *Service {
+	t.Helper()
+	if cfg.KP == 0 {
+		cfg.KP = 8
+	}
+	if cfg.MR == nil {
+		cfg.MR = testMRConfig()
+	}
+	s := New(db, cfg)
+	t.Cleanup(s.Close)
+	return s
+}
+
+const testSpec = "FROM A, B WHERE A.a < B.a"
+
+// oneShotHash runs the same query through the batch path (its own
+// private pool, fresh planner) and returns the result hash.
+func oneShotHash(t *testing.T, db *core.DB, spec string) string {
+	t.Helper()
+	q, aliases, err := query.Parse("oneshot", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := db.View(aliases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := core.NewPlanner(*testMRConfig(), 8)
+	plan, err := pl.Plan(q, view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pl.Execute(plan, view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ResultHash(res)
+}
+
+// TestSubmitMatchesOneShot: a served query returns the same result
+// (by content hash) as the one-shot batch path, including self-joins
+// through per-query alias views.
+func TestSubmitMatchesOneShot(t *testing.T) {
+	db := testDB(t)
+	s := newTestService(t, db, Config{})
+	for _, spec := range []string{
+		testSpec,
+		"FROM A t1, A t2 WHERE t1.a < t2.b",
+		"FROM A, B, C WHERE A.a = B.a AND B.b >= C.b",
+	} {
+		resp, err := s.Submit(context.Background(), Request{Spec: spec, Limit: 3})
+		if err != nil {
+			t.Fatalf("%q: %v", spec, err)
+		}
+		if want := oneShotHash(t, db, spec); resp.ResultHash != want {
+			t.Errorf("%q: served hash %s != one-shot %s", spec, resp.ResultHash, want)
+		}
+		if resp.Rows > 0 && len(resp.Tuples) == 0 {
+			t.Errorf("%q: limit 3 returned no tuples for %d rows", spec, resp.Rows)
+		}
+	}
+	// The self-join aliases must not have leaked into the shared DB.
+	if _, err := db.Relation("t1"); err == nil {
+		t.Error("alias t1 leaked into the shared DB")
+	}
+}
+
+// TestPlanCacheSemantics: identical re-submission hits, a catalog
+// version bump (re-analyze) misses and recompiles.
+func TestPlanCacheSemantics(t *testing.T) {
+	db := testDB(t)
+	s := newTestService(t, db, Config{})
+	reg := s.Obs().Metrics
+
+	r1, err := s.Submit(context.Background(), Request{Spec: testSpec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.CacheHit {
+		t.Error("first submission hit the cache")
+	}
+	// Textually different, semantically identical: same canonical key.
+	r2, err := s.Submit(context.Background(), Request{Spec: "from B, A where B.a > A.a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.CacheHit {
+		t.Error("identical re-submission missed the cache")
+	}
+	if r1.Canonical != r2.Canonical {
+		t.Errorf("canonical forms differ: %q vs %q", r1.Canonical, r2.Canonical)
+	}
+	if r1.ResultHash != r2.ResultHash {
+		t.Error("cached plan produced a different result")
+	}
+	if hits, misses := reg.Counter("server.plancache.hit").Value(), reg.Counter("server.plancache.miss").Value(); hits != 1 || misses != 1 {
+		t.Errorf("hit/miss = %d/%d, want 1/1", hits, misses)
+	}
+	t.Logf("plan time: miss %dns → hit %dns", r1.PlanNs, r2.PlanNs)
+
+	// Re-analyze: same statistics content, but the catalog version bumps
+	// and the cached plan must not be reused.
+	db.Analyze(500, 1)
+	r3, err := s.Submit(context.Background(), Request{Spec: testSpec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.CacheHit {
+		t.Error("catalog version bump did not invalidate the cache")
+	}
+	if misses := reg.Counter("server.plancache.miss").Value(); misses != 2 {
+		t.Errorf("misses = %d after version bump, want 2", misses)
+	}
+	if s.cache.Len() != 1 {
+		t.Errorf("stale cache generation not dropped: %d entries", s.cache.Len())
+	}
+}
+
+// TestPlanCacheSingleflight: N concurrent identical submissions
+// compile exactly once; everyone gets the same plan and result.
+func TestPlanCacheSingleflight(t *testing.T) {
+	db := testDB(t)
+	s := newTestService(t, db, Config{MaxConcurrent: 8})
+	const n = 8
+	var wg sync.WaitGroup
+	hashes := make([]string, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := s.Submit(context.Background(), Request{Spec: testSpec})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			hashes[i] = resp.ResultHash
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("submit %d: %v", i, errs[i])
+		}
+		if hashes[i] != hashes[0] {
+			t.Errorf("submit %d: hash %s != %s", i, hashes[i], hashes[0])
+		}
+	}
+	reg := s.Obs().Metrics
+	if misses := reg.Counter("server.plancache.miss").Value(); misses != 1 {
+		t.Errorf("%d concurrent identical submissions compiled %d times, want 1", n, misses)
+	}
+	if hits := reg.Counter("server.plancache.hit").Value(); hits != n-1 {
+		t.Errorf("hits = %d, want %d", hits, n-1)
+	}
+}
+
+// TestConcurrentQueriesSharedKP is the tentpole acceptance assertion:
+// concurrent queries on a K_P-unit server never hold more than K_P
+// units combined, verified through the shared pool's obs histogram
+// high-water mark.
+func TestConcurrentQueriesSharedKP(t *testing.T) {
+	db := testDB(t)
+	const kp = 6
+	s := newTestService(t, db, Config{KP: kp, MaxConcurrent: 4})
+	specs := []string{
+		testSpec,
+		"FROM A t1, A t2 WHERE t1.a < t2.b",
+		"FROM B, C WHERE B.b >= C.a",
+		"FROM A, C WHERE A.b = C.b",
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(specs))
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec string) {
+			defer wg.Done()
+			_, errs[i] = s.Submit(context.Background(), Request{Spec: spec})
+		}(i, spec)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	snap := s.Obs().Metrics.Histogram("core.pool.inuse").Snapshot()
+	if snap.Count == 0 {
+		t.Fatal("shared pool recorded no acquisitions")
+	}
+	if snap.Max > int64(kp) {
+		t.Errorf("combined unit holdings peaked at %d > K_P=%d", snap.Max, kp)
+	}
+	t.Logf("pool acquisitions %d, in-use high-water %d/%d", snap.Count, snap.Max, kp)
+}
+
+// TestAdmissionControl: a full queue rejects immediately, a queued
+// submission times out, and draining restores admission.
+func TestAdmissionControl(t *testing.T) {
+	db := testDB(t)
+	s := newTestService(t, db, Config{
+		MaxConcurrent: 1, MaxQueue: 1, QueueTimeout: 30 * time.Millisecond,
+	})
+	// Occupy the single execution slot and the single queue seat.
+	s.sem <- struct{}{}
+	s.mu.Lock()
+	s.queued = 1
+	s.mu.Unlock()
+
+	if _, err := s.Submit(context.Background(), Request{Spec: testSpec}); err != ErrQueueFull {
+		t.Errorf("full queue: err = %v, want ErrQueueFull", err)
+	}
+	s.mu.Lock()
+	s.queued = 0
+	s.mu.Unlock()
+	if _, err := s.Submit(context.Background(), Request{Spec: testSpec}); err != ErrTimedOut {
+		t.Errorf("held slot: err = %v, want ErrTimedOut", err)
+	}
+	// A caller-cancelled context surfaces as its error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Submit(ctx, Request{Spec: testSpec}); err != context.Canceled {
+		t.Errorf("cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	<-s.sem // release the held slot
+	if _, err := s.Submit(context.Background(), Request{Spec: testSpec}); err != nil {
+		t.Errorf("after drain: %v", err)
+	}
+	reg := s.Obs().Metrics
+	if v := reg.Counter("server.rejected.queue").Value(); v != 1 {
+		t.Errorf("rejected.queue = %d, want 1", v)
+	}
+	if v := reg.Counter("server.rejected.timeout").Value(); v != 1 {
+		t.Errorf("rejected.timeout = %d, want 1", v)
+	}
+}
+
+// TestCloseDrains: Close waits for in-flight queries and rejects new
+// ones.
+func TestCloseDrains(t *testing.T) {
+	db := testDB(t)
+	s := New(db, Config{KP: 8, MR: testMRConfig()})
+	var finished atomic.Bool
+	started := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		close(started)
+		_, err := s.Submit(context.Background(), Request{Spec: testSpec})
+		finished.Store(true)
+		done <- err
+	}()
+	<-started
+	// Give the submission a moment to pass admission before closing.
+	time.Sleep(5 * time.Millisecond)
+	s.Close()
+	if !finished.Load() {
+		t.Error("Close returned before the in-flight query finished")
+	}
+	if err := <-done; err != nil && err != ErrClosed {
+		t.Errorf("in-flight query failed: %v", err)
+	}
+	if _, err := s.Submit(context.Background(), Request{Spec: testSpec}); err != ErrClosed {
+		t.Errorf("post-Close submit: err = %v, want ErrClosed", err)
+	}
+}
+
+// zipfRel mirrors the core replan fixture: Zipf(s) join keys whose
+// equi-join amplifies the hot key in the intermediate.
+func zipfRel(name string, n int, zs float64, domain int, seed int64) *relation.Relation {
+	r := relation.New(name, relation.MustSchema(
+		relation.Column{Name: "k", Kind: relation.KindInt},
+		relation.Column{Name: "v", Kind: relation.KindInt},
+	))
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, zs, 1, uint64(domain-1))
+	for i := 0; i < n; i++ {
+		r.MustAppend(relation.Tuple{
+			relation.Int(int64(z.Uint64())),
+			relation.Int(int64(rng.Intn(1000))),
+		})
+	}
+	return r
+}
+
+// cascadeService builds a service over the Zipf cascade fixture with a
+// registered two-stage prepared plan (the spec grammar cannot express
+// cascades; the server's prepared-plan registry can).
+func cascadeService(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	const kr = 16
+	l := zipfRel("L", 1500, 1.2, 500, 71)
+	r := zipfRel("R", 400, 1.2, 500, 72)
+	sRel := randRel("S", 400, 500, 73)
+	l.VolumeMultiplier = 4e9 / float64(l.EncodedSize())
+	r.VolumeMultiplier = 1e9 / float64(r.EncodedSize())
+	sRel.VolumeMultiplier = 1e9 / float64(sRel.EncodedSize())
+	db, err := core.NewDB(500, 1, l, r, sRel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.KP = kr
+	s := newTestService(t, db, cfg)
+	j1Conds := predicate.Conjunction{predicate.C("L", "k", predicate.EQ, "R", "k")}
+	j2Conds := predicate.Conjunction{predicate.C("casc-j1", "L.k", predicate.EQ, "S", "a")}
+	plan := &core.Plan{
+		Query: &query.Query{Name: "casc"},
+		Jobs: []core.PlannedJob{
+			{Name: "casc-j1", Conds: j1Conds, RelOrder: []string{"L", "R"},
+				Kind: core.KindHashEqui, Reducers: kr, Units: kr,
+				Skew: core.SkewPlanFor(db.Catalog, core.KindHashEqui, j1Conds, kr, skew.DefaultThreshold)},
+			{Name: "casc-j2", Conds: j2Conds, RelOrder: []string{"casc-j1", "S"},
+				Kind: core.KindHashEqui, Reducers: kr, Units: kr},
+		},
+	}
+	if err := s.RegisterPlan("casc", plan); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestWarmStartCascade: the first execution of a cascade behaves
+// exactly like a one-shot run (dispatch-time replan, nothing warm);
+// the second is revised BEFORE execution from the persisted measured
+// statistics and reaches the same balanced outcome.
+func TestWarmStartCascade(t *testing.T) {
+	s := cascadeService(t, Config{})
+	first, err := s.Submit(context.Background(), Request{Prepared: "casc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.WarmRevised) != 0 {
+		t.Errorf("cold run warm-revised %v", first.WarmRevised)
+	}
+	if len(first.Replanned) != 1 || first.Replanned[0] != "casc-j2" {
+		t.Errorf("cold run replanned %v, want [casc-j2]", first.Replanned)
+	}
+	if s.stats.size() == 0 {
+		t.Fatal("no measured statistics persisted after the cold run")
+	}
+
+	second, err := s.Submit(context.Background(), Request{Prepared: "casc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second.WarmRevised) != 1 || second.WarmRevised[0] != "casc-j2" {
+		t.Errorf("warm run revised %v, want [casc-j2]", second.WarmRevised)
+	}
+	if second.ResultHash != first.ResultHash {
+		t.Error("warm-started run changed the result")
+	}
+	// The warm-revised downstream job must be as balanced as the
+	// dispatch-replanned one — measured-stat reducer derivation, not
+	// the static model that produced ~10x imbalance on this fixture.
+	fb, wb := first.JobBalance["casc-j2"], second.JobBalance["casc-j2"]
+	if wb > 1.5*fb {
+		t.Errorf("warm balance %.2f much worse than feedback balance %.2f", wb, fb)
+	}
+	t.Logf("downstream balance: cold(replanned) %.2f, warm-started %.2f", fb, wb)
+
+	// Warm-start disabled: the second run revises nothing.
+	s2 := cascadeService(t, Config{DisableWarmStart: true})
+	if _, err := s2.Submit(context.Background(), Request{Prepared: "casc"}); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s2.Submit(context.Background(), Request{Prepared: "casc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r2.WarmRevised) != 0 {
+		t.Errorf("DisableWarmStart still revised %v", r2.WarmRevised)
+	}
+}
+
+// TestStatsStoreVersionGuard: measured statistics from an old catalog
+// version never warm-start plans over new statistics.
+func TestStatsStoreVersionGuard(t *testing.T) {
+	st := newStatsStore()
+	st.ingest(1, map[string]core.MeasuredStat{"j1": {BalanceRatio: 2}})
+	if got := st.snapshot(1); len(got) != 1 {
+		t.Fatalf("snapshot(same version) = %v", got)
+	}
+	if got := st.snapshot(2); got != nil {
+		t.Errorf("snapshot(new version) = %v, want nil", got)
+	}
+	st.ingest(2, map[string]core.MeasuredStat{"j2": {BalanceRatio: 3}})
+	snap := st.snapshot(2)
+	if len(snap) != 1 {
+		t.Fatalf("snapshot after version change = %v, want just j2", snap)
+	}
+	if _, stale := snap["j1"]; stale {
+		t.Error("stale j1 survived the version change")
+	}
+}
+
+// BenchmarkConcurrentQueries drives the full serving path — admission,
+// plan cache, shared-pool execution — with parallel submissions of a
+// small mixed workload.
+func BenchmarkConcurrentQueries(b *testing.B) {
+	db, err := core.NewDB(500, 1,
+		randRel("A", 60, 15, 3), randRel("B", 50, 15, 4), randRel("C", 40, 15, 5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := New(db, Config{KP: 8, MaxConcurrent: 4, MR: testMRConfig()})
+	defer s.Close()
+	specs := []string{
+		testSpec,
+		"FROM B, C WHERE B.b >= C.a",
+		"FROM A, C WHERE A.b = C.b",
+	}
+	var i atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			spec := specs[int(i.Add(1))%len(specs)]
+			if _, err := s.Submit(context.Background(), Request{Spec: spec}); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}

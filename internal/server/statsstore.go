@@ -1,0 +1,63 @@
+package server
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// statsStore is the warm-start catalog: measured intermediate
+// statistics exported by past executions (core.ExecResult.Measured),
+// persisted across submissions and layered under new plans via
+// core.Planner.WarmRevise. Entries are keyed to the catalog version
+// they were measured against — statistics observed on old data must
+// not warm-start plans over new data, so a version change clears the
+// store.
+type statsStore struct {
+	mu      sync.Mutex
+	version uint64
+	stats   map[string]core.MeasuredStat
+}
+
+func newStatsStore() *statsStore {
+	return &statsStore{stats: make(map[string]core.MeasuredStat)}
+}
+
+// ingest merges one execution's measured statistics. Re-measurements
+// of the same intermediate overwrite — executions are deterministic,
+// so the values agree; overwriting simply keeps the newest.
+func (st *statsStore) ingest(version uint64, m map[string]core.MeasuredStat) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.version != version {
+		st.stats = make(map[string]core.MeasuredStat, len(m))
+		st.version = version
+	}
+	for name, ms := range m {
+		st.stats[name] = ms
+	}
+}
+
+// snapshot returns the stored statistics if they were measured against
+// the given catalog version, nil otherwise. The returned map is a
+// copy; callers may not mutate MeasuredStat contents (shared with
+// concurrent submissions).
+func (st *statsStore) snapshot(version uint64) map[string]core.MeasuredStat {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.version != version || len(st.stats) == 0 {
+		return nil
+	}
+	out := make(map[string]core.MeasuredStat, len(st.stats))
+	for name, ms := range st.stats {
+		out[name] = ms
+	}
+	return out
+}
+
+// size reports the stored intermediate count (for tests).
+func (st *statsStore) size() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.stats)
+}
