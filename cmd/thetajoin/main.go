@@ -5,7 +5,7 @@
 //
 //	thetajoin -rel A=a.csv -rel B=b.csv -cond "A.x < B.y" [-cond ...] \
 //	          [-kp 96] [-explain] [-limit 20] [-out result.csv] \
-//	          [-trace f] [-metrics f] [-pprof addr]
+//	          [-trace f] [-metrics f] [-pprof addr] [-spill-budget-mb MB]
 //	thetajoin -server http://localhost:7077 -query "FROM A, B WHERE A.x < B.y"
 //
 // With -server the query is submitted to a running thetad daemon
@@ -39,6 +39,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/dfs"
 	"repro/internal/mr"
 	"repro/internal/obs"
 	"repro/internal/predicate"
@@ -72,6 +73,7 @@ func run() error {
 	metricsOut := flag.String("metrics", "", "write the structured metrics registry as JSON to `file`")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on `addr` (e.g. localhost:6060) during execution")
 	serverURL := flag.String("server", "", "submit -query to a running thetad at `url` (e.g. http://localhost:7077) instead of executing locally")
+	spillMB := flag.Int("spill-budget-mb", 0, "bound real shuffle memory per map task at `MB`, spilling sorted runs to a temp block store (0 = fully in-memory); results are bit-identical either way")
 	flag.Parse()
 
 	if *serverURL != "" {
@@ -167,6 +169,17 @@ func run() error {
 		cfg.MapSlots = *kp
 	}
 	cfg.ReduceSlots = *kp
+	if *spillMB > 0 {
+		cfg.SpillBudgetBytes = int64(*spillMB) << 20
+		// Serve spilled runs back through a page cache bounded at the
+		// same budget; the store lives in a temp dir removed on exit.
+		store, err := dfs.NewBlockStore("", cfg.SpillBudgetBytes)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		cfg.Spill = store
+	}
 	pl := core.NewPlanner(cfg, *kp)
 	plan, err := pl.Plan(q, db)
 	if err != nil {
@@ -194,6 +207,10 @@ func run() error {
 	}
 	fmt.Printf("result: %d rows, simulated makespan %.1fs, %.2f GB shuffled\n",
 		res.Output.Cardinality(), res.Makespan, float64(res.ShuffleBytes)/1e9)
+	if res.SpillBytes > 0 {
+		fmt.Printf("spill: %.2f MB in %d runs, peak live pair bytes %.2f MB\n",
+			float64(res.SpillBytes)/1e6, res.SpillRuns, float64(res.PeakLiveBytes)/1e6)
+	}
 	fmt.Println("result hash:", server.ResultHash(res))
 	shown := 0
 	for _, t := range res.Output.Tuples {

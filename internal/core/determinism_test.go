@@ -119,6 +119,86 @@ func TestExecutionDeterminism(t *testing.T) {
 	}
 }
 
+// TestExecutionDeterminismSpill re-asserts the worker-count invariant
+// with out-of-core execution forced on: a tiny SpillBudgetBytes pushes
+// every map task's shuffle output through the spill store, and the
+// output plus all byte-level metrics must still be bit-identical to
+// the fully in-memory run, at every worker count. Run under -race this
+// also exercises the spill/merge synchronisation.
+func TestExecutionDeterminismSpill(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	a := randRelation("A", 90, 25, rng)
+	b := randRelation("B", 70, 25, rng)
+	db := newTestDB(t, a, b)
+	rel := func(name string) *relation.Relation {
+		r, err := db.Relation(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	cases := []struct {
+		name  string
+		build func() (*mr.Job, error)
+	}{
+		{"theta", func() (*mr.Job, error) {
+			job, _, err := BuildThetaJob("theta-sp", []*relation.Relation{rel("A"), rel("B")},
+				predicate.Conjunction{predicate.C("A", "a", predicate.LT, "B", "a")}, 6, 1<<12)
+			return job, err
+		}},
+		{"hash-equi", func() (*mr.Job, error) {
+			return BuildHashEquiJob("hashequi-sp", rel("A"), rel("B"),
+				predicate.Conjunction{predicate.C("A", "a", predicate.EQ, "B", "a")}, 6)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			job, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			inMem, err := mr.Run(context.Background(), testConfig(), nil, job)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ref *mr.Result
+			for _, w := range []int{1, 2, runtime.NumCPU()} {
+				job, err := tc.build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := testConfig()
+				cfg.MaxParallelWorkers = w
+				cfg.SpillBudgetBytes = 2048
+				res, err := mr.Run(context.Background(), cfg, nil, job)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				if res.Metrics.SpillBytes <= 0 {
+					t.Fatalf("workers=%d: budget did not force a spill", w)
+				}
+				// Bit-identical to the in-memory run, including order.
+				if got, want := len(res.Output.Tuples), len(inMem.Output.Tuples); got != want {
+					t.Fatalf("workers=%d: %d vs %d output tuples vs in-memory", w, got, want)
+				}
+				for i := range res.Output.Tuples {
+					if !reflect.DeepEqual(res.Output.Tuples[i], inMem.Output.Tuples[i]) {
+						t.Fatalf("workers=%d: tuple %d differs from in-memory run", w, i)
+					}
+				}
+				if ref == nil {
+					ref = res
+					continue
+				}
+				if !reflect.DeepEqual(zeroWall(res.Metrics), zeroWall(ref.Metrics)) {
+					t.Errorf("workers=%d: metrics differ with spill on:\n%+v\n%+v",
+						w, zeroWall(res.Metrics), zeroWall(ref.Metrics))
+				}
+			}
+		})
+	}
+}
+
 // TestExecutionDeterminismUnitPools asserts the UnitPool extraction
 // changed nothing observable: a full planned execution produces
 // bit-identical output and byte-level metrics whether the units come

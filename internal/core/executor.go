@@ -32,6 +32,16 @@ type ExecResult struct {
 	MergeTime float64
 	// ShuffleBytes totals network copy volume across jobs.
 	ShuffleBytes int64
+	// SpillBytes and SpillRuns total the REAL bytes and sorted runs the
+	// jobs' map tasks wrote to the spill store (0 unless the mr config
+	// sets SpillBudgetBytes); PeakLiveBytes is the largest accounted
+	// resident pair high-water mark of any job (see
+	// mr.Metrics.PeakLiveBytes) — reported next to the modeled spill
+	// cost so the real memory bound sits beside the simulated I/O price.
+	// All three are worker-count deterministic.
+	SpillBytes    int64
+	SpillRuns     int
+	PeakLiveBytes int64
 	// MaxConcurrentJobs is the high-water mark of planned jobs in
 	// flight at once: 1 when everything serialised, >= 2 when the
 	// placement overlapped independent jobs on the K_P units.
@@ -344,6 +354,11 @@ func (pl *Planner) ExecuteContext(ctx context.Context, plan *Plan, db *DB) (*Exe
 		run := results[i]
 		res.JobMetrics[pj.Name] = run.Metrics
 		res.ShuffleBytes += run.Metrics.ShuffleBytes
+		res.SpillBytes += run.Metrics.SpillBytes
+		res.SpillRuns += run.Metrics.SpillRuns
+		if run.Metrics.PeakLiveBytes > res.PeakLiveBytes {
+			res.PeakLiveBytes = run.Metrics.PeakLiveBytes
+		}
 		outputs[i] = run.Output
 		// Measured duration at the allotted units, scaled for the
 		// re-scheduling pass.

@@ -71,6 +71,10 @@ func (r *ExecResult) Report() string {
 	fmt.Fprintf(&b, "  merge: %d steps, modeled %.1fs, measured %s\n",
 		r.MergeCount, r.MergeTime, fmtDur(r.MergeWall))
 	fmt.Fprintf(&b, "  total shuffle: %s\n", fmtBytes(r.ShuffleBytes))
+	if r.SpillBytes > 0 || r.PeakLiveBytes > 0 {
+		fmt.Fprintf(&b, "  spill: %s in %d runs; peak live pair bytes: %s\n",
+			fmtBytes(r.SpillBytes), r.SpillRuns, fmtBytes(r.PeakLiveBytes))
+	}
 	fmt.Fprintf(&b, "  makespan (MODELED cluster seconds): %.1f\n", r.Makespan)
 	fmt.Fprintf(&b, "  wall time (MEASURED on this machine): %s\n", fmtDur(r.Wall))
 	return b.String()

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/predicate"
+	"repro/internal/relation"
+)
+
+// streamScanRelation is the fixture for the streaming-scan benchmark
+// and the chunk/tuple key-equivalence test: ints, floats and an
+// interned string column, with occasional NULLs and kind mismatches so
+// both the dense and the fallback extraction paths run.
+func streamScanRelation(rows int, rng *rand.Rand) *relation.Relation {
+	r := relation.New("scan", relation.MustSchema(
+		relation.Column{Name: "a", Kind: relation.KindInt},
+		relation.Column{Name: "w", Kind: relation.KindFloat},
+		relation.Column{Name: "city", Kind: relation.KindString},
+	))
+	cities := []string{"amsterdam", "beijing", "chicago", "delhi", "edinburgh", "florence"}
+	for i := 0; i < rows; i++ {
+		a := relation.Int(int64(rng.Intn(1 << 16)))
+		if i%97 == 0 {
+			a = relation.Null()
+		}
+		city := relation.Str(cities[rng.Intn(len(cities))])
+		if i%53 == 0 {
+			city = relation.Null()
+		}
+		r.MustAppend(relation.Tuple{a, relation.Float(rng.Float64() * 1e4), city})
+	}
+	relation.InternStrings(r)
+	return r
+}
+
+// scanExtractors builds the key recipes the scan derives per row: two
+// int offsets sharing a column, a float key and a dictionary key —
+// the shape of a multi-condition join step.
+func scanExtractors(r *relation.Relation) []keyExtractor {
+	d := r.DictOf(2)
+	return []keyExtractor{
+		{mode: predicate.KeyInt, col: 0, off: 0},
+		{mode: predicate.KeyInt, col: 0, off: 7},
+		{mode: predicate.KeyFloat, col: 1, off: -2.5},
+		{mode: predicate.KeyDict, col: 2, dict: d, direct: true},
+	}
+}
+
+// TestChunkKeyColumnsEquivalence pins the joineval chunk-view path:
+// key columns built over chunk views are bit-identical to the boxed
+// tuple path, for every extractor mode.
+func TestChunkKeyColumnsEquivalence(t *testing.T) {
+	r := streamScanRelation(3000, rand.New(rand.NewSource(41)))
+	exts := scanExtractors(r)
+	fromTuples := buildKeyColumns(exts, r.Tuples)
+	fromChunks := buildKeyColumnsChunks(exts, relation.ChunksOf(r, 256))
+	if !reflect.DeepEqual(fromTuples, fromChunks) {
+		for x := range fromTuples {
+			for i := range fromTuples[x] {
+				if fromTuples[x][i] != fromChunks[x][i] {
+					t.Fatalf("ext %d row %d: tuple key %d != chunk key %d",
+						x, i, fromTuples[x][i], fromChunks[x][i])
+				}
+			}
+		}
+		t.Fatal("key columns differ in shape")
+	}
+}
+
+// BenchmarkStreamingScan compares the two data-plane scan layouts on
+// an in-memory-sized input: "materialized" derives the step keys row
+// by row from boxed tuples (the pre-chunk data plane), "chunked"
+// streams the relation as columnar chunks and runs the vectorized
+// extractors. The CI benchdiff gate watches this pair — the chunked
+// path must stay no slower than the materialized one.
+func BenchmarkStreamingScan(b *testing.B) {
+	r := streamScanRelation(1<<14, rand.New(rand.NewSource(43)))
+	exts := scanExtractors(r)
+	n := len(r.Tuples)
+
+	b.Run("materialized", func(b *testing.B) {
+		dst := make([]int64, 0, len(exts)*n)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var sink int64
+		for i := 0; i < b.N; i++ {
+			dst = dst[:0]
+			for x := range exts {
+				e := &exts[x]
+				for _, tp := range r.Tuples {
+					dst = append(dst, e.key(tp))
+				}
+			}
+			sink += dst[0]
+		}
+		benchSink = sink
+	})
+
+	// Each variant scans its native layout: the materialized path owns
+	// boxed tuples, the chunked path owns columnar chunks (how a
+	// block-resident relation arrives from the dfs store).
+	chunks := relation.ChunksOf(r, relation.DefaultChunkRows)
+	b.Run("chunked", func(b *testing.B) {
+		dst := make([]int64, 0, len(exts)*n)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var sink int64
+		for i := 0; i < b.N; i++ {
+			dst = dst[:0]
+			for _, c := range chunks {
+				for x := range exts {
+					e := &exts[x]
+					switch e.mode {
+					case predicate.KeyInt:
+						dst = c.AppendIntKeys(e.col, e.off, dst)
+					case predicate.KeyFloat:
+						dst = c.AppendFloatKeys(e.col, e.off, dst)
+					default:
+						dst = c.AppendDictKeys(e.col, e.dict, e.direct, dst)
+					}
+				}
+			}
+			sink += dst[0]
+		}
+		benchSink = sink
+	})
+}
+
+var benchSink int64

@@ -100,7 +100,9 @@ func TestTracedExecutionDeterminism(t *testing.T) {
 			seen[e.Name] = true
 		}
 		// Phase coverage: every pipeline stage must have traced.
-		for _, want := range []string{"execute", "dispatch", "map", "shuffle-merge", "reduce", "assemble", "plan-merge", "merge-step"} {
+		// (the streaming shuffle merge traces inside the "reduce" span;
+		// the gather is "shuffle-copy")
+		for _, want := range []string{"execute", "dispatch", "map", "shuffle-copy", "reduce", "assemble", "plan-merge", "merge-step"} {
 			if !seen[want] {
 				t.Errorf("workers=%d: no %q span in trace", w, want)
 			}

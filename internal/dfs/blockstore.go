@@ -1,0 +1,385 @@
+package dfs
+
+import (
+	"bufio"
+	"container/list"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/mr"
+	"repro/internal/relation"
+)
+
+// DefaultPageSize is the page-cache granularity of a BlockStore: reads
+// are served in pages of this size, cached under the store's byte
+// budget.
+const DefaultPageSize = 64 << 10
+
+// BlockStore is the real (non-modeled) storage substrate of the
+// package: a directory of append-then-sealed files whose reads are
+// served through an in-memory LRU page cache with a byte budget. It is
+// the out-of-core counterpart of the simulated Store namespace —
+// Store prices I/O in simulated seconds, BlockStore actually holds
+// bytes on disk and bounds how many of them sit in memory.
+//
+// It serves two roles:
+//
+//   - a spill target: it implements mr.SpillStore, so an engine run
+//     with Config.SpillBudgetBytes set writes its sorted shuffle runs
+//     here and reducers stream-merge them back through the page cache;
+//   - a chunk source: WriteChunked stores a relation as chunk-framed
+//     columnar blocks and returns a ChunkedFile whose chunks decode on
+//     demand, so map tasks stream inputs without the relation's rows
+//     ever being resident.
+//
+// The cache is transparent: every read returns exactly the sealed
+// bytes regardless of budget, page size, eviction order or
+// concurrency. Only CacheStats observes the difference. All methods
+// are safe for concurrent use.
+type BlockStore struct {
+	mu     sync.Mutex
+	dir    string
+	owned  bool // store created dir and removes it on Close
+	nextID int
+	closed bool
+
+	pageSize    int64
+	cacheBudget int64
+	cacheBytes  int64
+	lru         *list.List // of *cachePage; front = most recent
+	pages       map[pageKey]*list.Element
+	hits        int64
+	misses      int64
+}
+
+type pageKey struct {
+	file int
+	page int64
+}
+
+type cachePage struct {
+	key  pageKey
+	data []byte
+}
+
+// NewBlockStore opens a block store rooted at dir (created as a
+// temporary directory and removed on Close when dir is empty).
+// cacheBudgetBytes bounds the resident page cache; 0 disables caching
+// entirely — every read goes to disk — which is the cheapest way to
+// force fully out-of-core execution in tests.
+func NewBlockStore(dir string, cacheBudgetBytes int64) (*BlockStore, error) {
+	if cacheBudgetBytes < 0 {
+		return nil, fmt.Errorf("dfs: cache budget must be >= 0")
+	}
+	owned := dir == ""
+	if owned {
+		d, err := os.MkdirTemp("", "dfs-blocks-*")
+		if err != nil {
+			return nil, err
+		}
+		dir = d
+	}
+	return &BlockStore{
+		dir:         dir,
+		owned:       owned,
+		pageSize:    DefaultPageSize,
+		cacheBudget: cacheBudgetBytes,
+		lru:         list.New(),
+		pages:       make(map[pageKey]*list.Element),
+	}, nil
+}
+
+// CreateSpillFile implements mr.SpillStore: a new write-once file in
+// the store whose post-Seal reads are page-cached.
+func (s *BlockStore) CreateSpillFile() (mr.SpillFile, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("dfs: block store closed")
+	}
+	id := s.nextID
+	s.nextID++
+	s.mu.Unlock()
+
+	f, err := os.OpenFile(filepath.Join(s.dir, fmt.Sprintf("block-%06d", id)),
+		os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o600)
+	if err != nil {
+		return nil, err
+	}
+	return &blockFile{store: s, id: id, f: f, bw: bufio.NewWriterSize(f, 64<<10)}, nil
+}
+
+// CacheStats reports page-cache activity: hits, misses, and currently
+// resident bytes. Diagnostic only — it never affects results.
+func (s *BlockStore) CacheStats() (hits, misses, residentBytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses, s.cacheBytes
+}
+
+// Close drops the cache and, if the store owns its directory, removes
+// it and every stored file.
+func (s *BlockStore) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.lru.Init()
+	s.pages = make(map[pageKey]*list.Element)
+	s.cacheBytes = 0
+	dir, owned := s.dir, s.owned
+	s.mu.Unlock()
+	if owned {
+		return os.RemoveAll(dir)
+	}
+	return nil
+}
+
+// readThrough copies [off, off+len(p)) of file id into p via the page
+// cache. The caller guarantees the range is within the sealed size.
+func (s *BlockStore) readThrough(id int, f *os.File, size, off int64, p []byte) (int, error) {
+	if off < 0 || off >= size {
+		return 0, fmt.Errorf("dfs: read at %d outside sealed file of %d bytes", off, size)
+	}
+	n := 0
+	for n < len(p) && off+int64(n) < size {
+		pos := off + int64(n)
+		pageIdx := pos / s.pageSize
+		data, err := s.page(pageKey{file: id, page: pageIdx}, f, size)
+		if err != nil {
+			return n, err
+		}
+		n += copy(p[n:], data[pos-pageIdx*s.pageSize:])
+	}
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// page returns the cached page, filling it from disk on a miss.
+func (s *BlockStore) page(k pageKey, f *os.File, size int64) ([]byte, error) {
+	s.mu.Lock()
+	if el, ok := s.pages[k]; ok {
+		s.hits++
+		s.lru.MoveToFront(el)
+		data := el.Value.(*cachePage).data
+		s.mu.Unlock()
+		return data, nil
+	}
+	s.misses++
+	s.mu.Unlock()
+
+	// Fill outside the lock; a racing reader of the same page just
+	// fills it twice, and the second insert finds it already cached.
+	pageOff := k.page * s.pageSize
+	pageLen := s.pageSize
+	if pageOff+pageLen > size {
+		pageLen = size - pageOff
+	}
+	data := make([]byte, pageLen)
+	if _, err := f.ReadAt(data, pageOff); err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.pages[k]; ok {
+		return el.Value.(*cachePage).data, nil
+	}
+	if s.cacheBudget > 0 && !s.closed {
+		s.pages[k] = s.lru.PushFront(&cachePage{key: k, data: data})
+		s.cacheBytes += int64(len(data))
+		for s.cacheBytes > s.cacheBudget {
+			back := s.lru.Back()
+			if back == nil {
+				break
+			}
+			pg := back.Value.(*cachePage)
+			s.lru.Remove(back)
+			delete(s.pages, pg.key)
+			s.cacheBytes -= int64(len(pg.data))
+		}
+	}
+	return data, nil
+}
+
+// dropFile evicts every cached page of a released file.
+func (s *BlockStore) dropFile(id int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for el := s.lru.Front(); el != nil; {
+		next := el.Next()
+		pg := el.Value.(*cachePage)
+		if pg.key.file == id {
+			s.lru.Remove(el)
+			delete(s.pages, pg.key)
+			s.cacheBytes -= int64(len(pg.data))
+		}
+		el = next
+	}
+}
+
+// blockFile is one write-once file in a BlockStore.
+type blockFile struct {
+	store  *BlockStore
+	id     int
+	f      *os.File
+	bw     *bufio.Writer
+	size   int64
+	sealed bool
+}
+
+func (b *blockFile) Write(p []byte) (int, error) {
+	if b.sealed {
+		return 0, fmt.Errorf("dfs: write to sealed block file")
+	}
+	n, err := b.bw.Write(p)
+	b.size += int64(n)
+	return n, err
+}
+
+func (b *blockFile) Seal() error {
+	if b.sealed {
+		return nil
+	}
+	if err := b.bw.Flush(); err != nil {
+		return err
+	}
+	b.sealed = true
+	return nil
+}
+
+func (b *blockFile) ReadAt(p []byte, off int64) (int, error) {
+	if !b.sealed {
+		return 0, fmt.Errorf("dfs: read from unsealed block file")
+	}
+	return b.store.readThrough(b.id, b.f, b.size, off, p)
+}
+
+func (b *blockFile) Release() error {
+	b.store.dropFile(b.id)
+	name := b.f.Name()
+	if err := b.f.Close(); err != nil {
+		return err
+	}
+	return os.Remove(name)
+}
+
+// chunkMeta locates one encoded chunk frame inside a block file.
+type chunkMeta struct {
+	off      int64 // frame start in the file
+	len      int64 // frame length in bytes
+	rows     int
+	rawBytes int64 // decoded size in relation.Tuple.EncodedSize units
+}
+
+// ChunkedFile is a relation stored as chunk-framed columnar blocks in
+// a BlockStore. It implements mr.ChunkSource: chunks decode on demand
+// through the store's page cache and are released by the consumer, so
+// feeding a job from a ChunkedFile keeps only the chunks currently
+// being scanned resident. Chunks decode to bit-identical tuples on
+// every open; OpenChunk is safe for concurrent use.
+type ChunkedFile struct {
+	name   string
+	schema *relation.Schema
+	dicts  []*relation.Dict
+	file   mr.SpillFile
+	chunks []chunkMeta
+	rows   int
+}
+
+// WriteChunked stores r's rows as encoded chunks of rowsPerChunk rows
+// (relation.DefaultChunkRows when <= 0) and returns the readable
+// ChunkedFile. The schema and dictionaries are held by reference; the
+// rows themselves live only in the store.
+func (s *BlockStore) WriteChunked(r *relation.Relation, rowsPerChunk int) (*ChunkedFile, error) {
+	f, err := s.CreateSpillFile()
+	if err != nil {
+		return nil, err
+	}
+	cf := &ChunkedFile{
+		name:   r.Name,
+		schema: r.Schema,
+		dicts:  append([]*relation.Dict(nil), r.Dicts...),
+		file:   f,
+	}
+	var off int64
+	it := r.ChunkStream(rowsPerChunk)
+	for {
+		c, err := it.NextChunk()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		cw := countingWriter{w: f}
+		if err := relation.EncodeChunk(&cw, c, cf.dicts); err != nil {
+			return nil, err
+		}
+		cf.chunks = append(cf.chunks, chunkMeta{
+			off: off, len: cw.n, rows: c.Rows(), rawBytes: c.EncodedBytes(),
+		})
+		off += cw.n
+		cf.rows += c.Rows()
+	}
+	if err := f.Seal(); err != nil {
+		return nil, err
+	}
+	return cf, nil
+}
+
+// Name returns the stored relation's name.
+func (cf *ChunkedFile) Name() string { return cf.name }
+
+// Rows returns the total stored row count.
+func (cf *ChunkedFile) Rows() int { return cf.rows }
+
+// NumChunks implements mr.ChunkSource.
+func (cf *ChunkedFile) NumChunks() int { return len(cf.chunks) }
+
+// ChunkRows implements mr.ChunkSource.
+func (cf *ChunkedFile) ChunkRows(i int) int { return cf.chunks[i].rows }
+
+// ChunkBytes implements mr.ChunkSource.
+func (cf *ChunkedFile) ChunkBytes(i int) int64 { return cf.chunks[i].rawBytes }
+
+// OpenChunk implements mr.ChunkSource: decode chunk i from the store.
+func (cf *ChunkedFile) OpenChunk(i int) (*relation.Chunk, error) {
+	m := cf.chunks[i]
+	sr := io.NewSectionReader(cf.file, m.off, m.len)
+	c, err := relation.DecodeChunk(bufio.NewReaderSize(sr, 32<<10), cf.schema, cf.dicts)
+	if err != nil {
+		return nil, fmt.Errorf("dfs: chunk %d of %q: %w", i, cf.name, err)
+	}
+	if c == nil || c.Rows() != m.rows {
+		return nil, fmt.Errorf("dfs: chunk %d of %q decoded wrong shape", i, cf.name)
+	}
+	return c, nil
+}
+
+// Shell returns an empty relation carrying the stored schema,
+// dictionaries and the given volume multiplier — the Rel side of an
+// mr.Input whose rows come from this file's Stream.
+func (cf *ChunkedFile) Shell(mult float64) *relation.Relation {
+	r := relation.New(cf.name, cf.schema)
+	r.Dicts = append([]*relation.Dict(nil), cf.dicts...)
+	r.VolumeMultiplier = mult
+	return r
+}
+
+// Release drops the file's blocks and cached pages.
+func (cf *ChunkedFile) Release() error { return cf.file.Release() }
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,296 @@
+package dfs
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/mr"
+	"repro/internal/relation"
+)
+
+// TestBlockStoreRoundTrip: bytes written to a sealed file read back
+// identically through the page cache at any budget, including one too
+// small to hold a single page and one of zero (caching disabled).
+func TestBlockStoreRoundTrip(t *testing.T) {
+	payload := make([]byte, 3*DefaultPageSize+257) // straddles page edges
+	rng := rand.New(rand.NewSource(11))
+	for i := range payload {
+		payload[i] = byte(rng.Intn(256))
+	}
+	for _, budget := range []int64{0, 100, DefaultPageSize, 1 << 20} {
+		store, err := NewBlockStore("", budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := store.CreateSpillFile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.ReadAt(make([]byte, 1), 0); err == nil {
+			t.Fatal("read before Seal accepted")
+		}
+		if err := f.Seal(); err != nil {
+			t.Fatal(err)
+		}
+		// Whole file, unaligned slices, and a read past EOF.
+		got := make([]byte, len(payload))
+		if _, err := f.ReadAt(got, 0); err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("budget %d: full read differs", budget)
+		}
+		slice := make([]byte, 1000)
+		off := int64(DefaultPageSize - 500)
+		if _, err := f.ReadAt(slice, off); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(slice, payload[off:off+1000]) {
+			t.Fatalf("budget %d: unaligned read differs", budget)
+		}
+		tail := make([]byte, 512)
+		n, err := f.ReadAt(tail, int64(len(payload))-100)
+		if err != io.EOF || n != 100 {
+			t.Fatalf("budget %d: tail read n=%d err=%v", budget, n, err)
+		}
+
+		hits, misses, resident := store.CacheStats()
+		if budget == 0 {
+			if hits != 0 || resident != 0 {
+				t.Fatalf("budget 0 cached: hits=%d resident=%d", hits, resident)
+			}
+		} else if misses == 0 {
+			t.Fatalf("budget %d: no cache activity: hits=%d misses=%d", budget, hits, misses)
+		}
+		if budget > int64(3*DefaultPageSize) && hits == 0 {
+			// Every page fits, so the re-reads must hit.
+			t.Fatalf("budget %d: re-reads did not hit the cache", budget)
+		}
+		if resident > budget {
+			t.Fatalf("budget %d exceeded: %d resident", budget, resident)
+		}
+		if err := f.Release(); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, resident := store.CacheStats(); resident != 0 {
+			t.Fatal("pages survive Release")
+		}
+		if err := store.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// chunkProbeRelation mirrors the mr spill tests' fixture: interned
+// strings, NULLs and floats, so chunks carry dict slots through disk.
+func chunkProbeRelation(rows int) *relation.Relation {
+	r := relation.New("probe", relation.MustSchema(
+		relation.Column{Name: "k", Kind: relation.KindInt},
+		relation.Column{Name: "city", Kind: relation.KindString},
+		relation.Column{Name: "w", Kind: relation.KindFloat},
+	))
+	cities := []string{"amsterdam", "beijing", "chicago", "delhi"}
+	for i := 0; i < rows; i++ {
+		city := relation.Str(cities[i%len(cities)])
+		if i%13 == 0 {
+			city = relation.Null()
+		}
+		r.MustAppend(relation.Tuple{
+			relation.Int(int64(i % 37)),
+			city,
+			relation.Float(float64(i) * 1.25),
+		})
+	}
+	relation.InternStrings(r)
+	return r
+}
+
+// TestChunkedFileRoundTrip: rows stored as chunk frames decode back
+// bit-identically, chunk by chunk, through a tiny page cache.
+func TestChunkedFileRoundTrip(t *testing.T) {
+	r := chunkProbeRelation(700)
+	store, err := NewBlockStore(t.TempDir(), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	cf, err := store.WriteChunked(r, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf.Rows() != len(r.Tuples) || cf.NumChunks() != (700+63)/64 {
+		t.Fatalf("shape: rows=%d chunks=%d", cf.Rows(), cf.NumChunks())
+	}
+	row := 0
+	var rawTotal int64
+	for i := 0; i < cf.NumChunks(); i++ {
+		if cf.ChunkRows(i) <= 0 || cf.ChunkBytes(i) <= 0 {
+			t.Fatalf("chunk %d empty meta", i)
+		}
+		rawTotal += cf.ChunkBytes(i)
+		c, err := cf.OpenChunk(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ri := 0; ri < c.Rows(); ri++ {
+			got := c.Row(ri)
+			for j, v := range got {
+				if v != r.Tuples[row][j] {
+					t.Fatalf("row %d col %d: %#v vs %#v", row, j, v, r.Tuples[row][j])
+				}
+			}
+			row++
+		}
+	}
+	var want int64
+	for _, tp := range r.Tuples {
+		want += int64(tp.EncodedSize())
+	}
+	if rawTotal != want {
+		t.Fatalf("raw bytes %d, want %d", rawTotal, want)
+	}
+	// The shell carries schema + dicts but no rows.
+	shell := cf.Shell(2.5)
+	if shell.Schema != r.Schema || len(shell.Tuples) != 0 || shell.VolumeMultiplier != 2.5 {
+		t.Fatal("shell shape wrong")
+	}
+	if shell.DictOf(1) == nil {
+		t.Fatal("shell lost the dictionary")
+	}
+}
+
+// TestFullyOutOfCoreJob is the package's end-to-end acceptance check:
+// input streamed from a ChunkedFile, shuffle spilled to the same
+// BlockStore under a tiny budget and a tiny page cache — and the
+// result is bit-identical to the fully in-memory run.
+func TestFullyOutOfCoreJob(t *testing.T) {
+	in := chunkProbeRelation(1200)
+	job := func(rel *relation.Relation) *mr.Job {
+		return &mr.Job{
+			Name:   "count",
+			Inputs: []mr.Input{{Rel: rel, Map: func(tp relation.Tuple, emit mr.Emitter) { emit(uint64(tp[0].Int64()), 0, tp) }}},
+			Reduce: func(key uint64, values []mr.Tagged, ctx *mr.ReduceContext) {
+				ctx.Emit(relation.Tuple{values[0].Tuple[0], relation.Int(int64(len(values)))})
+			},
+			NumReducers: 6,
+			OutputName:  "counts",
+			OutputSchema: relation.MustSchema(
+				relation.Column{Name: "k", Kind: relation.KindInt},
+				relation.Column{Name: "n", Kind: relation.KindInt},
+			),
+		}
+	}
+	cfg := mr.DefaultConfig()
+	cfg.TuplesPerMapTask = 128
+	base, err := mr.Run(context.Background(), cfg, nil, job(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := NewBlockStore(t.TempDir(), 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	cf, err := store.WriteChunked(in, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oocCfg := cfg
+	oocCfg.SpillBudgetBytes = 2048
+	oocCfg.Spill = store
+	oocJob := job(cf.Shell(in.VolumeMultiplier))
+	oocJob.Inputs[0].Stream = cf
+	ooc, err := mr.Run(context.Background(), oocCfg, nil, oocJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if relation.ContentHash(ooc.Output) != relation.ContentHash(base.Output) {
+		t.Fatal("out-of-core result differs from in-memory result")
+	}
+	if ooc.Metrics.SpillBytes <= 0 || ooc.Metrics.SpillRuns <= 0 {
+		t.Fatalf("nothing spilled: %+v", ooc.Metrics)
+	}
+	if ooc.Metrics.PeakLiveBytes >= base.Metrics.PeakLiveBytes {
+		t.Fatalf("peak live bytes did not drop: %d vs %d",
+			ooc.Metrics.PeakLiveBytes, base.Metrics.PeakLiveBytes)
+	}
+	if base.Metrics.InputBytes != ooc.Metrics.InputBytes ||
+		base.Metrics.PairsEmitted != ooc.Metrics.PairsEmitted {
+		t.Fatalf("input accounting differs:\nbase: %+v\nooc:  %+v", base.Metrics, ooc.Metrics)
+	}
+}
+
+// TestPlacementStability pins the determinism contract: equal store
+// configurations place blocks identically, placements are valid, and
+// replicas of one block land on distinct nodes.
+func TestPlacementStability(t *testing.T) {
+	upload := func(t *testing.T) []*File {
+		t.Helper()
+		s := newStore(t)
+		var files []*File
+		for _, mult := range []float64{5e8, 2e9, 8e8} {
+			r := sampleRelation(1000, mult)
+			r.Name = r.Name + string(rune('a'+len(files)))
+			if _, err := s.Upload(r, LoadPlain, 100, 1); err != nil {
+				t.Fatal(err)
+			}
+			f, err := s.File(r.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			files = append(files, f)
+		}
+		return files
+	}
+	first, second := upload(t), upload(t)
+	for i := range first {
+		if len(first[i].Placement) != first[i].Blocks {
+			t.Fatalf("file %d: %d placements for %d blocks", i, len(first[i].Placement), first[i].Blocks)
+		}
+		if !reflect.DeepEqual(first[i].Placement, second[i].Placement) {
+			t.Fatalf("file %d: placement not stable across equal stores", i)
+		}
+		for b, nodes := range first[i].Placement {
+			if len(nodes) != first[i].Replicas {
+				t.Fatalf("file %d block %d: %d replicas, want %d", i, b, len(nodes), first[i].Replicas)
+			}
+			seen := map[int]bool{}
+			for _, n := range nodes {
+				if n < 0 || n >= 12 {
+					t.Fatalf("file %d block %d: node %d out of range", i, b, n)
+				}
+				if seen[n] {
+					t.Fatalf("file %d block %d: duplicate replica node %d", i, b, n)
+				}
+				seen[n] = true
+			}
+		}
+	}
+
+	// A different cluster geometry reseeds the RNG: the placement
+	// stream must still be internally deterministic.
+	s13a, _ := NewStore(mr.DefaultConfig(), 13)
+	s13b, _ := NewStore(mr.DefaultConfig(), 13)
+	ra := sampleRelation(1000, 2e9)
+	rb := sampleRelation(1000, 2e9)
+	if _, err := s13a.Upload(ra, LoadPlain, 100, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s13b.Upload(rb, LoadPlain, 100, 1); err != nil {
+		t.Fatal(err)
+	}
+	fa, _ := s13a.File("data")
+	fb, _ := s13b.File("data")
+	if !reflect.DeepEqual(fa.Placement, fb.Placement) {
+		t.Fatal("13-node placement not stable")
+	}
+}

@@ -1,16 +1,8 @@
-// Package dfs simulates the distributed file system under the
-// MapReduce cluster: block-based storage with replication, and the
-// three data-loading paths compared in Fig. 11 — plain Hadoop upload,
-// Hive-style load (schema validation into the warehouse), and the
-// paper's method, which additionally runs the sampling pass and builds
-// the per-attribute index structures the optimizer later exploits
-// ("In addition to simply upload the data to HDFS, we run a sampling
-// algorithm to collect rough data statistics and build the index
-// structure", §6.3).
 package dfs
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 
 	"repro/internal/mr"
@@ -51,6 +43,12 @@ type File struct {
 	Bytes    int64 // modeled bytes, pre-replication
 	Method   LoadMethod
 	Stats    *relation.TableStats // LoadOurs only
+
+	// Placement maps each block ordinal to the DataNode ordinals
+	// holding its replicas (Placement[b][0] is the primary). It is a
+	// pure function of the store's configuration and the upload
+	// sequence — see the determinism contract in the package doc.
+	Placement [][]int
 }
 
 // Store is the simulated HDFS namespace.
@@ -58,6 +56,18 @@ type Store struct {
 	cfg   mr.Config
 	nodes int
 	files map[string]*File
+	place *rand.Rand // block-placement RNG; seeded from cfg + nodes
+}
+
+// placementSeed derives the block-placement RNG seed from the store's
+// configuration: the fields that shape the block layout (block size,
+// replication factor) plus the cluster geometry. Two stores built from
+// equal configurations place blocks identically; the seed never comes
+// from wall clock or a global RNG.
+func placementSeed(cfg mr.Config, nodes int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "dfs-placement|%d|%d|%d", cfg.BlockSizeMB, cfg.DFSReplication, nodes)
+	return int64(h.Sum64())
 }
 
 // NewStore creates a store over the cluster described by cfg; nodes is
@@ -69,7 +79,33 @@ func NewStore(cfg mr.Config, nodes int) (*Store, error) {
 	if nodes < 1 {
 		return nil, fmt.Errorf("dfs: need >= 1 node")
 	}
-	return &Store{cfg: cfg, nodes: nodes, files: make(map[string]*File)}, nil
+	return &Store{
+		cfg:   cfg,
+		nodes: nodes,
+		files: make(map[string]*File),
+		place: rand.New(rand.NewSource(placementSeed(cfg, nodes))),
+	}, nil
+}
+
+// placeBlocks assigns replica nodes to each of n blocks, HDFS-style:
+// the primary lands on a pseudo-random node drawn from the store's
+// seeded placement RNG, and further replicas on the following distinct
+// nodes. Replication is clamped to the node count — more copies than
+// nodes adds nothing.
+func (s *Store) placeBlocks(n, repl int) [][]int {
+	if repl > s.nodes {
+		repl = s.nodes
+	}
+	placement := make([][]int, n)
+	for b := range placement {
+		primary := s.place.Intn(s.nodes)
+		nodes := make([]int, repl)
+		for j := range nodes {
+			nodes[j] = (primary + j) % s.nodes
+		}
+		placement[b] = nodes
+	}
+	return placement
 }
 
 // LoadReport describes one completed load.
@@ -118,6 +154,7 @@ func (s *Store) Upload(r *relation.Relation, method LoadMethod, sampleSize int, 
 	file := &File{
 		Name: r.Name, Rel: r, Blocks: blocks, Replicas: repl,
 		Bytes: bytes, Method: method,
+		Placement: s.placeBlocks(blocks, repl),
 	}
 	switch method {
 	case LoadPlain:

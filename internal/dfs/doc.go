@@ -1,0 +1,79 @@
+// Package dfs is the storage layer under the MapReduce runtime. It has
+// two halves: a simulated HDFS namespace that prices data loading, and
+// a real block store that holds bytes on disk so executions can run
+// out of core.
+//
+// # Simulated namespace
+//
+// Store models block-based storage with replication and the three
+// data-loading paths compared in Fig. 11 of the paper — plain Hadoop
+// upload, Hive-style load (schema validation into the warehouse), and
+// the paper's method, which additionally runs the sampling pass and
+// builds the per-attribute index structures the optimizer later
+// exploits ("In addition to simply upload the data to HDFS, we run a
+// sampling algorithm to collect rough data statistics and build the
+// index structure", §6.3). Upload assigns every block a replica
+// placement, HDFS-style: a pseudo-random primary node plus the
+// following distinct nodes.
+//
+// # Real block store
+//
+// BlockStore is the out-of-core substrate: a directory of write-once,
+// seal-then-read files whose reads are served through an in-memory LRU
+// page cache with a byte budget (DefaultPageSize pages). It plugs into
+// the engine in both directions:
+//
+//   - Spill target. BlockStore implements mr.SpillStore. A job run
+//     with mr.Config.SpillBudgetBytes > 0 and Config.Spill set to a
+//     BlockStore writes every map task's sorted shuffle runs here and
+//     the reducers k-way stream-merge them back through the page
+//     cache, so resident pair memory is bounded by the budget instead
+//     of proportional to the shuffle volume.
+//   - Chunk source. WriteChunked stores a relation as chunk-framed
+//     columnar blocks (the RELC frame format of internal/relation) and
+//     returns a ChunkedFile implementing mr.ChunkSource: map tasks
+//     decode one chunk at a time and release each as consumed, so the
+//     input rows never need to be resident either. ChunkedFile.Shell
+//     builds the empty schema-carrying relation an mr.Input pairs with
+//     the stream.
+//
+// With both ends plugged in, a join's data plane touches memory only
+// through three bounded windows — the chunk being scanned, the map
+// task's spill buffer, and the reducer's current merge heads — while
+// disk holds everything else.
+//
+// # Bounded-memory contract and knobs
+//
+// The contract: results are bit-identical whether execution is
+// in-memory or out-of-core. Spilled pairs round-trip through the raw
+// tuple codec (dictionary code slots included), chunks decode to
+// bit-identical tuples on every open, and the page cache is
+// transparent — budget, page size, eviction order and concurrency
+// affect only CacheStats, never a returned byte. mr.Metrics reports
+// the difference instead: SpillBytes/SpillRuns count what went to
+// disk, PeakLiveBytes the accounted resident high-water mark.
+//
+// Three knobs force or bound out-of-core execution:
+//
+//   - mr.Config.SpillBudgetBytes — real bytes a map task may buffer
+//     before spilling; set it tiny (a few KiB) in tests to force every
+//     pair through the store.
+//   - NewBlockStore's cacheBudgetBytes — resident page-cache bound;
+//     0 disables caching so every read hits disk.
+//   - WriteChunked's rowsPerChunk — the streaming granularity of
+//     inputs (and the unit of transient decode memory).
+//
+// # Determinism
+//
+// Everything the package returns is a pure function of its inputs and
+// configuration. The block-placement RNG is math/rand seeded from the
+// store configuration (block size, replication, node count) — never
+// from wall clock or the global RNG — so two stores built from equal
+// configurations produce identical File.Placement for the same upload
+// sequence, and a placement-sensitive simulation is reproducible
+// run-to-run. Upload's sampling pass (LoadOurs) draws from a rand
+// seeded by its explicit seed argument. BlockStore assigns file IDs in
+// creation order and serves reads byte-identically under any cache
+// state, so the engine's determinism guarantee (same results at any
+// worker count, spill on or off) extends through this package.
+package dfs

@@ -48,6 +48,25 @@ type Config struct {
 	// paper's real 20 GB–1 TB runs (result selectivities 1e-4..1e-2)
 	// never exhibit. The cap applies identically to every method.
 	OutputCapRatio float64
+
+	// SpillBudgetBytes bounds the REAL (unscaled, accounted — see
+	// Metrics.PeakLiveBytes) bytes of emitted pairs one map task may
+	// buffer before its sorted buckets spill to the SpillStore; with a
+	// budget set, every map-output pair reaches the store and reducers
+	// stream-merge the spilled runs from disk, so resident pair memory
+	// is bounded instead of proportional to the shuffle volume. It is
+	// the real-memory counterpart of the modeled IoSortMB knob: IoSortMB
+	// prices spill passes in simulated time, SpillBudgetBytes makes this
+	// process actually spill. 0 (the default) keeps the shuffle fully
+	// in-memory. Output and byte-level metrics are bit-identical either
+	// way.
+	SpillBudgetBytes int64
+
+	// Spill receives spill runs when SpillBudgetBytes > 0. nil makes
+	// the engine manage plain temp files per run (NewTempSpillStore);
+	// internal/dfs's BlockStore plugs in here to serve reads through
+	// its page cache. Implementations must be concurrency-safe.
+	Spill SpillStore
 }
 
 // DefaultConfig returns the Table 1 "Set" column plus the paper's
@@ -99,6 +118,8 @@ func (c Config) Validate() error {
 		return errConfig("MaxParallelWorkers must be >= 0 (0 = NumCPU)")
 	case c.OutputCapRatio < 0:
 		return errConfig("OutputCapRatio must be >= 0 (0 disables the cap)")
+	case c.SpillBudgetBytes < 0:
+		return errConfig("SpillBudgetBytes must be >= 0 (0 = in-memory shuffle)")
 	}
 	return nil
 }

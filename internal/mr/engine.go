@@ -67,6 +67,27 @@ type Metrics struct {
 	MapFailures    int
 	ReduceFailures int
 
+	// SpillBytes is the real (unscaled) bytes of sorted runs written
+	// to the spill store; 0 on a fully in-memory run. SpillRuns counts
+	// the spill files written. Both are deterministic: flush boundaries
+	// depend only on the job specification and SpillBudgetBytes.
+	SpillBytes int64
+	SpillRuns  int
+
+	// PeakLiveBytes is the ACCOUNTED peak of resident shuffle-pair
+	// bytes — a deterministic model of the engine's live memory, not a
+	// heap measurement: the sum over map tasks of the pair bytes still
+	// buffered when the map phase ends (all map output in-memory, zero
+	// under a spill budget), plus the larger of the biggest transient
+	// map-task buffer above that floor and the biggest per-reducer
+	// merge residency (its in-memory source buckets plus its largest
+	// single key run). Pair bytes are Tuple.EncodedSize + 8, the same
+	// raw unit the modeled byte metrics scale. The quantity is exactly
+	// reproducible across worker counts, so determinism tests may
+	// compare it; the acceptance story — bounded budgets cut peak live
+	// bytes — is asserted against it.
+	PeakLiveBytes int64
+
 	Sim SimTime
 
 	// Wall is the measured wall-clock breakdown of this run — the
@@ -89,7 +110,10 @@ type pair struct {
 
 type mapTask struct {
 	inputIdx   int
-	tuples     []relation.Tuple
+	tuples     []relation.Tuple // in-memory split (nil for streamed tasks)
+	stream     ChunkSource      // chunk-streamed split (nil for in-memory)
+	chunkLo    int              // [chunkLo, chunkHi) range into stream
+	chunkHi    int
 	multiplier float64
 	inputBytes int64 // modeled
 }
@@ -142,11 +166,21 @@ func Run(ctx context.Context, cfg Config, timer Timer, job *Job) (*Result, error
 		if mult <= 0 {
 			mult = 1
 		}
-		card := in.Rel.Cardinality()
+		var card int
+		var rawTotal int64
+		if in.Stream != nil {
+			for ci := 0; ci < in.Stream.NumChunks(); ci++ {
+				card += in.Stream.ChunkRows(ci)
+				rawTotal += in.Stream.ChunkBytes(ci)
+			}
+		} else {
+			card = in.Rel.Cardinality()
+			rawTotal = in.Rel.EncodedSize()
+		}
 		if card == 0 {
 			continue
 		}
-		modeled := int64(float64(in.Rel.EncodedSize()) * mult)
+		modeled := int64(float64(rawTotal) * mult)
 		nTasks := int((modeled + blockBytes - 1) / blockBytes)
 		if byTuples := (card + cfg.TuplesPerMapTask - 1) / cfg.TuplesPerMapTask; byTuples > nTasks {
 			nTasks = byTuples
@@ -158,6 +192,28 @@ func Run(ctx context.Context, cfg Config, timer Timer, job *Job) (*Result, error
 			nTasks = card
 		}
 		per := (card + nTasks - 1) / nTasks
+		if in.Stream != nil {
+			// Tasks cover contiguous chunk ranges of ~per rows each; a
+			// chunk is never split across tasks, so a task decodes its
+			// chunks one at a time and holds at most one resident.
+			nChunks := in.Stream.NumChunks()
+			lo := 0
+			for lo < nChunks {
+				hi, rows := lo, 0
+				var raw int64
+				for hi < nChunks && (rows == 0 || rows+in.Stream.ChunkRows(hi) <= per) {
+					rows += in.Stream.ChunkRows(hi)
+					raw += in.Stream.ChunkBytes(hi)
+					hi++
+				}
+				mb := int64(float64(raw) * mult)
+				tasks = append(tasks, mapTask{inputIdx: idx, stream: in.Stream,
+					chunkLo: lo, chunkHi: hi, multiplier: mult, inputBytes: mb})
+				inputBytes += mb
+				lo = hi
+			}
+			continue
+		}
 		blocks := in.Rel.Blocks(per)
 		for _, blk := range blocks {
 			var raw int64
@@ -193,8 +249,38 @@ func Run(ctx context.Context, cfg Config, timer Timer, job *Job) (*Result, error
 		partition = func(key uint64, n int) int { return int(key % uint64(n)) }
 	}
 	nRed := job.NumReducers
-	taskBuckets := make([][][]pair, len(tasks)) // [task][reducer] bucket
-	taskOutBytes := make([]int64, len(tasks))   // modeled map output per task
+
+	// Out-of-core shuffle: with a spill budget, each map task spills
+	// its sorted buckets to the spill store whenever the buffered pair
+	// bytes exceed the budget (and once more at task end), so no pairs
+	// survive the map phase in memory; reducers then stream-merge the
+	// runs from the store. Without a budget the buckets stay resident,
+	// exactly as before. The store is released when the run finishes.
+	spillStore := cfg.Spill
+	var ownedStore *TempSpillStore
+	if cfg.SpillBudgetBytes > 0 && spillStore == nil {
+		ts, err := NewTempSpillStore("")
+		if err != nil {
+			return nil, err
+		}
+		ownedStore = ts
+		spillStore = ts
+	}
+	taskBuckets := make([][][]pair, len(tasks))    // [task][reducer] bucket (in-memory path)
+	taskSpills := make([]*taskSpiller, len(tasks)) // spilled runs (budgeted path)
+	taskOutBytes := make([]int64, len(tasks))      // modeled map output per task
+	taskRealFinal := make([]int64, len(tasks))     // accounted pair bytes resident after the task
+	taskRealPeak := make([]int64, len(tasks))      // accounted high-water mark while mapping
+	defer func() {
+		for _, ts := range taskSpills {
+			if ts != nil {
+				ts.release()
+			}
+		}
+		if ownedStore != nil {
+			ownedStore.Close()
+		}
+	}()
 	// Tracing shards are per worker goroutine: each worker owns its
 	// shard exclusively (forEach hands every index to exactly one
 	// worker), so span recording takes no lock and cannot race.
@@ -206,8 +292,14 @@ func Run(ctx context.Context, cfg Config, timer Timer, job *Job) (*Result, error
 		task := &tasks[ti]
 		sp := sh.Start("map", obs.A("task", ti), obs.A("tuples", len(task.tuples)))
 		mapFn := job.Inputs[task.inputIdx].Map
-		buckets := make([][]pair, nRed)
-		var outBytes int64
+		var spiller *taskSpiller
+		var buckets [][]pair
+		if spillStore != nil {
+			spiller = newTaskSpiller(spillStore, nRed, cfg.SpillBudgetBytes)
+		} else {
+			buckets = make([][]pair, nRed)
+		}
+		var outBytes, realBytes int64
 		var replPairs int64
 		var emitErr error
 		var routeBuf []int
@@ -230,31 +322,77 @@ func Run(ctx context.Context, cfg Config, timer Timer, job *Job) (*Result, error
 					}
 					return
 				}
-				buckets[r] = append(buckets[r], pair{key: key, tag: tag, tuple: value})
+				p := pair{key: key, tag: tag, tuple: value}
+				if spiller != nil {
+					if err := spiller.add(r, p); err != nil && emitErr == nil {
+						emitErr = err
+						return
+					}
+				} else {
+					buckets[r] = append(buckets[r], p)
+					realBytes += pairRealBytes(p)
+				}
 				// 8 bytes of key framing per shuffled pair; a replicated
 				// pair is copied (and charged) once per destination.
 				outBytes += int64(float64(value.EncodedSize()+8) * task.multiplier)
 			}
 		}
-		for _, t := range task.tuples {
-			mapFn(t, emit)
-			if emitErr != nil {
-				sp.End(obs.A("error", emitErr.Error()))
-				return emitErr
+		if task.stream != nil {
+			// Chunk-streamed input: decode one chunk at a time,
+			// releasing each before opening the next, so the task's
+			// input residency is a single chunk.
+			for ci := task.chunkLo; ci < task.chunkHi && emitErr == nil; ci++ {
+				c, err := task.stream.OpenChunk(ci)
+				if err != nil {
+					sp.End(obs.A("error", err.Error()))
+					return fmt.Errorf("mr: job %s: open chunk %d: %w", job.Name, ci, err)
+				}
+				for ri := 0; ri < c.Rows(); ri++ {
+					mapFn(c.Row(ri), emit)
+					if emitErr != nil {
+						break
+					}
+				}
+			}
+		} else {
+			for _, t := range task.tuples {
+				mapFn(t, emit)
+				if emitErr != nil {
+					break
+				}
 			}
 		}
-		// Map-side sort: order each spill bucket by key before it is
-		// handed to the shuffle, so reducers merge pre-sorted runs
-		// instead of re-sorting their whole input. The sort is stable
-		// (emission order within a key is preserved) and skipped when
-		// the bucket is already ordered — the common case for jobs
-		// whose keys are reducer ordinals (identity partition).
-		sortSp := sh.Start("spill-sort", obs.A("task", ti))
-		for r := range buckets {
-			sortBucket(buckets[r])
+		if emitErr != nil {
+			sp.End(obs.A("error", emitErr.Error()))
+			return emitErr
 		}
-		sortSp.End()
-		taskBuckets[ti] = buckets
+		if spiller != nil {
+			// Final flush: the whole map output is on the store; the
+			// task retains no pairs.
+			sortSp := sh.Start("spill", obs.A("task", ti))
+			if err := spiller.finish(); err != nil {
+				sortSp.End(obs.A("error", err.Error()))
+				return err
+			}
+			sortSp.End(obs.A("runs", len(spiller.flushes)), obs.A("spilledBytes", spiller.spilled))
+			taskSpills[ti] = spiller
+			taskRealPeak[ti] = spiller.peak
+		} else {
+			// Map-side sort: order each spill bucket by key before it is
+			// handed to the shuffle, so reducers merge pre-sorted runs
+			// instead of re-sorting their whole input. The sort is stable
+			// (emission order within a key is preserved) and skipped when
+			// the bucket is already ordered — the common case for jobs
+			// whose keys are reducer ordinals (identity partition).
+			sortSp := sh.Start("spill-sort", obs.A("task", ti))
+			for r := range buckets {
+				sortBucket(buckets[r])
+			}
+			sortSp.End()
+			taskBuckets[ti] = buckets
+			taskRealFinal[ti] = realBytes
+			taskRealPeak[ti] = realBytes
+		}
 		taskOutBytes[ti] = outBytes
 		replicated.Add(replPairs)
 		sp.End(obs.A("outBytes", outBytes))
@@ -265,17 +403,22 @@ func Run(ctx context.Context, cfg Config, timer Timer, job *Job) (*Result, error
 	}
 	mapWall := time.Since(mapStart)
 
-	// ---- Shuffle + reduce (sort-free parallel per-reducer merge) -------
-	// Each reducer k-way merges its pre-sorted buckets in task order
-	// (the determinism anchor): the merged run is key-ordered with task
-	// emission order within a key — the exact ordering the old global
-	// stable sort produced, without an O(n log n) comparator pass over
-	// the whole run. Key-runs are handed to Reduce as zero-copy
-	// subslice views of the merged run. Reducers proceed concurrently;
-	// no global materialized map[key][]Tagged.
+	// ---- Shuffle + reduce (sort-free parallel streaming merge) ---------
+	// Each reducer k-way merges its pre-sorted runs in (task, flush)
+	// order (the determinism anchor): the merged stream is key-ordered
+	// with task emission order within a key — the exact ordering the
+	// old global stable sort produced. Runs come from in-memory buckets
+	// or spilled segments interchangeably; key-runs are accumulated
+	// into a per-reducer buffer reused across keys and handed to Reduce
+	// as capacity-capped views, so a reducer's residency is its
+	// in-memory source buckets (none under a spill budget) plus one key
+	// run — never a materialized copy of its whole input. In-memory
+	// buckets release their backing arrays the moment their cursor
+	// drains, not when the whole merge completes.
 	reduceStart := time.Now()
 	reducerBytes := make([]int64, nRed)
 	reducerPairs := make([]int64, nRed)
+	reducerResident := make([]int64, nRed) // accounted resident pair bytes
 	outs := make([][]relation.Tuple, nRed)
 	combs := make([]int64, nRed)
 	reduceShards := workerShards(o, job.Name+"/reduce", workers)
@@ -284,45 +427,77 @@ func Run(ctx context.Context, cfg Config, timer Timer, job *Job) (*Result, error
 		sh := reduceShards.get(o, w)
 		gatherSp := sh.Start("shuffle-copy", obs.A("reducer", r))
 		var n int
-		var bytes int64
-		srcs := make([][]pair, 0, len(taskBuckets))
-		for ti := range taskBuckets {
-			b := taskBuckets[ti][r]
-			if len(b) == 0 {
+		var memReal int64
+		srcs := make([]*pairSource, 0, len(tasks))
+		for ti := range tasks {
+			mult := tasks[ti].multiplier
+			if ts := taskSpills[ti]; ts != nil {
+				for _, fl := range ts.flushes {
+					if seg := fl.segs[r]; seg.count > 0 {
+						srcs = append(srcs, diskSource(fl.file, seg, mult))
+						n += seg.count
+					}
+				}
+			}
+			if taskBuckets[ti] == nil {
 				continue
 			}
-			mult := tasks[ti].multiplier
-			for _, p := range b {
-				bytes += int64(float64(p.tuple.EncodedSize()+8) * mult)
+			if b := taskBuckets[ti][r]; len(b) > 0 {
+				for _, p := range b {
+					memReal += pairRealBytes(p)
+				}
+				srcs = append(srcs, memSource(b, mult))
+				n += len(b)
+				taskBuckets[ti][r] = nil // release as we go
 			}
-			n += len(b)
-			srcs = append(srcs, b)
-			taskBuckets[ti][r] = nil // release as we go
 		}
-		reducerBytes[r] = bytes
 		reducerPairs[r] = int64(n)
-		gatherSp.End(obs.A("pairs", n), obs.A("bytes", bytes))
+		gatherSp.End(obs.A("pairs", n), obs.A("runs", len(srcs)))
 		if n == 0 {
 			return nil
 		}
-		mergeSp := sh.Start("shuffle-merge", obs.A("reducer", r), obs.A("buckets", len(srcs)))
-		keys, vals := mergeBuckets(srcs, n)
-		mergeSp.End()
-		reduceSp := sh.Start("reduce", obs.A("reducer", r), obs.A("pairs", n))
+		reduceSp := sh.Start("reduce", obs.A("reducer", r), obs.A("pairs", n), obs.A("runs", len(srcs)))
 		rctx := &ReduceContext{}
 		runs := 0
-		for lo := 0; lo < n; {
-			hi := lo + 1
-			for hi < n && keys[hi] == keys[lo] {
-				hi++
+		var bytes int64
+		var curKey uint64
+		var run []Tagged
+		var runReal, maxRunReal int64
+		flushRun := func() {
+			if len(run) == 0 {
+				return
 			}
-			keyRunHist.Observe(int64(hi - lo))
+			keyRunHist.Observe(int64(len(run)))
 			runs++
 			// Capacity-capped view: an accidental append inside Reduce
-			// allocates instead of overwriting the next key's values.
-			job.Reduce(keys[lo], vals[lo:hi:hi], rctx)
-			lo = hi
+			// allocates instead of clobbering the reused buffer.
+			job.Reduce(curKey, run[:len(run):len(run)], rctx)
+			run = run[:0]
+			runReal = 0
 		}
+		mergeErr := mergeSources(srcs, func(p pair, s *pairSource) error {
+			// Per-pair modeled bytes convert to int64 individually, so
+			// the integer sum is independent of merge order and matches
+			// the in-memory gather accounting bit for bit.
+			bytes += int64(float64(p.tuple.EncodedSize()+8) * s.mult)
+			if len(run) > 0 && p.key != curKey {
+				flushRun()
+			}
+			curKey = p.key
+			run = append(run, Tagged{Tag: p.tag, Tuple: p.tuple})
+			runReal += pairRealBytes(p)
+			if runReal > maxRunReal {
+				maxRunReal = runReal
+			}
+			return nil
+		})
+		if mergeErr != nil {
+			reduceSp.End(obs.A("error", mergeErr.Error()))
+			return mergeErr
+		}
+		flushRun()
+		reducerBytes[r] = bytes
+		reducerResident[r] = memReal + maxRunReal
 		outs[r] = rctx.out
 		combs[r] = rctx.combinations
 		reduceSp.End(obs.A("keys", runs),
@@ -338,6 +513,30 @@ func Run(ctx context.Context, cfg Config, timer Timer, job *Job) (*Result, error
 		pairsEmitted += reducerPairs[r]
 		shuffleBytes += reducerBytes[r]
 	}
+
+	// Spill metrics and the accounted live-byte peak: the pair bytes
+	// resident at the end of the map phase (zero under a budget), plus
+	// the larger of the biggest transient task buffer above that floor
+	// and the biggest reducer merge residency. See Metrics.
+	var spillBytes int64
+	var spillRuns int
+	var residentFloor, peakExtra int64
+	for ti := range tasks {
+		residentFloor += taskRealFinal[ti]
+		if extra := taskRealPeak[ti] - taskRealFinal[ti]; extra > peakExtra {
+			peakExtra = extra
+		}
+		if ts := taskSpills[ti]; ts != nil {
+			spillBytes += ts.spilled
+			spillRuns += len(ts.flushes)
+		}
+	}
+	for r := 0; r < nRed; r++ {
+		if reducerResident[r] > peakExtra {
+			peakExtra = reducerResident[r]
+		}
+	}
+	peakLiveBytes := residentFloor + peakExtra
 
 	outMult := job.OutputMultiplier
 	if outMult <= 0 {
@@ -452,6 +651,11 @@ func Run(ctx context.Context, cfg Config, timer Timer, job *Job) (*Result, error
 	o.Counter("mr/shuffle_bytes").Add(shuffleBytes)
 	o.Counter("mr/combinations_checked").Add(combinations)
 	o.Counter("mr/output_tuples").Add(int64(totalOut))
+	o.Counter("mr/spill_bytes").Add(spillBytes)
+	o.Counter("mr/spill_runs").Add(int64(spillRuns))
+	if h := o.Histogram("mr/peak_live_bytes"); h != nil {
+		h.Observe(peakLiveBytes)
+	}
 	jobSpan.End(obs.A("shuffleBytes", shuffleBytes),
 		obs.A("outTuples", totalOut), obs.A("balance", balance))
 
@@ -471,6 +675,9 @@ func Run(ctx context.Context, cfg Config, timer Timer, job *Job) (*Result, error
 			BalanceRatio:        balance,
 			MapFailures:         totalMapFailures,
 			ReduceFailures:      totalReduceFailures,
+			SpillBytes:          spillBytes,
+			SpillRuns:           spillRuns,
+			PeakLiveBytes:       peakLiveBytes,
 			Sim:                 sim,
 			Wall: WallTime{
 				Map:      mapWall,
@@ -498,88 +705,6 @@ func sortBucket(b []pair) {
 		return
 	}
 	sort.SliceStable(b, func(i, j int) bool { return b[i].key < b[j].key })
-}
-
-// mergeBuckets k-way merges pre-sorted buckets (given in task order)
-// into one key-ordered run of n pairs, stored as parallel key/value
-// slices so key-runs can be passed to Reduce as subslice views. Ties
-// between buckets break toward the earlier task, so the merged run
-// keeps task order — and, within a task, emission order — for equal
-// keys: exactly the ordering a global stable sort of the concatenated
-// buckets would produce.
-func mergeBuckets(srcs [][]pair, n int) ([]uint64, []Tagged) {
-	keys := make([]uint64, n)
-	vals := make([]Tagged, n)
-	w := 0
-	emit := func(p pair) {
-		keys[w] = p.key
-		vals[w] = Tagged{Tag: p.tag, Tuple: p.tuple}
-		w++
-	}
-	// Fast path: the concatenation in task order is already globally
-	// ordered (always true for identity-partitioned jobs, where every
-	// bucket holds a single key). A tie on the boundary is fine — task
-	// order is the desired order for equal keys.
-	ordered := true
-	for i := 1; i < len(srcs); i++ {
-		if srcs[i][0].key < srcs[i-1][len(srcs[i-1])-1].key {
-			ordered = false
-			break
-		}
-	}
-	if ordered {
-		for _, b := range srcs {
-			for _, p := range b {
-				emit(p)
-			}
-		}
-		return keys, vals
-	}
-	// Binary min-heap of bucket cursors ordered by (current key, task
-	// ordinal). pos[i] is the cursor into srcs[i]; the heap holds
-	// bucket indices.
-	pos := make([]int, len(srcs))
-	heap := make([]int, len(srcs))
-	for i := range heap {
-		heap[i] = i
-	}
-	less := func(a, b int) bool {
-		ka, kb := srcs[a][pos[a]].key, srcs[b][pos[b]].key
-		return ka < kb || (ka == kb && a < b)
-	}
-	var siftDown func(i, size int)
-	siftDown = func(i, size int) {
-		for {
-			l, r := 2*i+1, 2*i+2
-			small := i
-			if l < size && less(heap[l], heap[small]) {
-				small = l
-			}
-			if r < size && less(heap[r], heap[small]) {
-				small = r
-			}
-			if small == i {
-				return
-			}
-			heap[i], heap[small] = heap[small], heap[i]
-			i = small
-		}
-	}
-	size := len(heap)
-	for i := size/2 - 1; i >= 0; i-- {
-		siftDown(i, size)
-	}
-	for size > 0 {
-		b := heap[0]
-		emit(srcs[b][pos[b]])
-		pos[b]++
-		if pos[b] == len(srcs[b]) {
-			size--
-			heap[0] = heap[size]
-		}
-		siftDown(0, size)
-	}
-	return keys, vals
 }
 
 // simulate advances the discrete-event clock: map tasks run in waves

@@ -1,0 +1,435 @@
+package mr
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// Out-of-core shuffle: when Config.SpillBudgetBytes is set, a map task
+// buffers at most that many accounted bytes of emitted pairs before
+// sorting its per-reducer buckets and writing them to a SpillFile as
+// key-sorted runs (Hadoop's io.sort.mb spill, made real). Reducers
+// then k-way merge the spilled runs straight from disk through
+// streaming cursors instead of holding every bucket live, so the
+// engine's resident pair memory is bounded by the budget — while every
+// byte-level metric and the output stay bit-identical to the
+// in-memory path. See Run for the determinism contract; the spill
+// layer preserves it because runs are merged in (key, source ordinal)
+// order with sources ordered (task, flush), exactly the global stable
+// sort order of the in-memory path, and because the pair codec
+// (relation.WriteTupleRaw) round-trips values bit-identically,
+// dictionary code slots included.
+
+// SpillFile is one spill target: append-only while writing, random
+// access (io.ReaderAt) after Seal, reclaimed by Release. The engine
+// tracks segment offsets itself; implementations only store bytes.
+type SpillFile interface {
+	io.Writer
+	io.ReaderAt // valid after Seal
+	// Seal flushes and makes the file readable; no writes may follow.
+	Seal() error
+	// Release frees the file's storage.
+	Release() error
+}
+
+// SpillStore creates spill files. Implementations must be safe for
+// concurrent use — map tasks spill in parallel. internal/dfs's
+// BlockStore implements it with an in-memory page cache over the spill
+// bytes; the engine falls back to plain temp files when
+// Config.Spill is nil.
+type SpillStore interface {
+	CreateSpillFile() (SpillFile, error)
+}
+
+// ---- Default temp-file store ------------------------------------------
+
+// TempSpillStore is the engine's fallback SpillStore: one plain file
+// per spill in a private temp directory, removed on Close.
+type TempSpillStore struct {
+	dir string
+	mu  sync.Mutex
+	n   int
+}
+
+// NewTempSpillStore creates a temp-file spill store rooted in dir (""
+// = the system temp directory).
+func NewTempSpillStore(dir string) (*TempSpillStore, error) {
+	d, err := os.MkdirTemp(dir, "mr-spill-*")
+	if err != nil {
+		return nil, fmt.Errorf("mr: spill store: %w", err)
+	}
+	return &TempSpillStore{dir: d}, nil
+}
+
+// CreateSpillFile opens a fresh spill file.
+func (s *TempSpillStore) CreateSpillFile() (SpillFile, error) {
+	s.mu.Lock()
+	name := fmt.Sprintf("%s/spill-%06d", s.dir, s.n)
+	s.n++
+	s.mu.Unlock()
+	f, err := os.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("mr: spill store: %w", err)
+	}
+	return &tempSpillFile{f: f, bw: bufio.NewWriter(f)}, nil
+}
+
+// Close removes the store's directory and every remaining file.
+func (s *TempSpillStore) Close() error { return os.RemoveAll(s.dir) }
+
+type tempSpillFile struct {
+	f  *os.File
+	bw *bufio.Writer
+}
+
+func (t *tempSpillFile) Write(p []byte) (int, error) { return t.bw.Write(p) }
+
+func (t *tempSpillFile) Seal() error { return t.bw.Flush() }
+
+func (t *tempSpillFile) ReadAt(p []byte, off int64) (int, error) { return t.f.ReadAt(p, off) }
+
+func (t *tempSpillFile) Release() error {
+	name := t.f.Name()
+	if err := t.f.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Remove(name)
+}
+
+// ---- Pair codec -------------------------------------------------------
+
+// Spilled pair layout: u64 key (LE), u8 tag, tuple in the raw
+// self-describing layout (relation.WriteTupleRaw), which preserves
+// interned-string code slots so EncodedSize — and with it every
+// modeled byte metric — is unchanged by a disk round trip.
+
+func writePair(bw *bufio.Writer, p pair) error {
+	var scratch [9]byte
+	binary.LittleEndian.PutUint64(scratch[:8], p.key)
+	scratch[8] = p.tag
+	if _, err := bw.Write(scratch[:9]); err != nil {
+		return err
+	}
+	return relation.WriteTupleRaw(bw, p.tuple)
+}
+
+func readPair(br *bufio.Reader) (pair, error) {
+	var scratch [9]byte
+	if _, err := io.ReadFull(br, scratch[:9]); err != nil {
+		return pair{}, err
+	}
+	t, err := relation.ReadTupleRaw(br)
+	if err != nil {
+		return pair{}, err
+	}
+	return pair{key: binary.LittleEndian.Uint64(scratch[:8]), tag: scratch[8], tuple: t}, nil
+}
+
+// pairRealBytes is the accounted in-memory size of one buffered pair:
+// the tuple's encoded size plus 8 bytes of key framing — the same raw
+// quantity the modeled byte accounting multiplies, so budget and
+// metrics speak one unit.
+func pairRealBytes(p pair) int64 { return int64(p.tuple.EncodedSize() + 8) }
+
+// ---- Map-side spiller -------------------------------------------------
+
+// spillSegment locates one reducer's key-sorted run inside a sealed
+// spill file.
+type spillSegment struct {
+	off, n   int64
+	count    int
+	firstKey uint64
+	lastKey  uint64
+}
+
+// spillFlush is one sealed spill file holding a segment per reducer
+// (empty segments have count 0).
+type spillFlush struct {
+	file SpillFile
+	segs []spillSegment
+}
+
+// taskSpiller buffers one map task's per-reducer buckets under the
+// byte budget and flushes them to the spill store as sorted runs.
+type taskSpiller struct {
+	store    SpillStore
+	budget   int64
+	buckets  [][]pair
+	buffered int64 // accounted bytes currently buffered
+	peak     int64 // high-water mark of buffered
+	flushes  []spillFlush
+	spilled  int64 // total bytes written to the store
+}
+
+func newTaskSpiller(store SpillStore, nRed int, budget int64) *taskSpiller {
+	return &taskSpiller{store: store, budget: budget, buckets: make([][]pair, nRed)}
+}
+
+// add buffers one routed pair, flushing first when the budget is
+// exhausted. Flushing before (not after) appending keeps the buffer at
+// most one pair over budget.
+func (ts *taskSpiller) add(r int, p pair) error {
+	b := pairRealBytes(p)
+	if ts.buffered > 0 && ts.buffered+b > ts.budget {
+		if err := ts.flush(); err != nil {
+			return err
+		}
+	}
+	ts.buckets[r] = append(ts.buckets[r], p)
+	ts.buffered += b
+	if ts.buffered > ts.peak {
+		ts.peak = ts.buffered
+	}
+	return nil
+}
+
+// flush sorts every non-empty bucket and writes one spill file with a
+// segment per reducer, then drops the buffered pairs.
+func (ts *taskSpiller) flush() error {
+	if ts.buffered == 0 {
+		return nil
+	}
+	f, err := ts.store.CreateSpillFile()
+	if err != nil {
+		return err
+	}
+	cw := &countingWriter{w: f}
+	bw := bufio.NewWriter(cw)
+	segs := make([]spillSegment, len(ts.buckets))
+	for r, b := range ts.buckets {
+		if len(b) == 0 {
+			continue
+		}
+		sortBucket(b)
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		seg := spillSegment{off: cw.n, count: len(b), firstKey: b[0].key, lastKey: b[len(b)-1].key}
+		for _, p := range b {
+			if err := writePair(bw, p); err != nil {
+				return err
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		seg.n = cw.n - seg.off
+		segs[r] = seg
+		ts.buckets[r] = nil
+	}
+	if err := f.Seal(); err != nil {
+		return err
+	}
+	ts.flushes = append(ts.flushes, spillFlush{file: f, segs: segs})
+	ts.spilled += cw.n
+	ts.buffered = 0
+	return nil
+}
+
+// finish flushes the remaining buffer so the task retains no pairs in
+// memory; every run is on the store.
+func (ts *taskSpiller) finish() error { return ts.flush() }
+
+// release frees every spill file of the task.
+func (ts *taskSpiller) release() {
+	for _, fl := range ts.flushes {
+		fl.file.Release()
+	}
+	ts.flushes = nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// ---- Reduce-side cursors and streaming merge --------------------------
+
+// pairSource is one key-sorted run feeding a reducer's merge: an
+// in-memory bucket or a spilled segment. Sources expose their key
+// bounds so the merge can take the sequential fast path when the
+// task-order concatenation is already globally sorted.
+type pairSource struct {
+	// Exactly one of bucket/seg is set.
+	bucket []pair
+	file   SpillFile
+	seg    spillSegment
+	mult   float64 // producing task's volume multiplier
+
+	// cursor state
+	pos int
+	br  *bufio.Reader
+}
+
+func memSource(bucket []pair, mult float64) *pairSource {
+	return &pairSource{bucket: bucket, mult: mult}
+}
+
+func diskSource(file SpillFile, seg spillSegment, mult float64) *pairSource {
+	return &pairSource{file: file, seg: seg, mult: mult}
+}
+
+func (s *pairSource) count() int {
+	if s.bucket != nil {
+		return len(s.bucket)
+	}
+	return s.seg.count
+}
+
+func (s *pairSource) firstKey() uint64 {
+	if s.bucket != nil {
+		return s.bucket[0].key
+	}
+	return s.seg.firstKey
+}
+
+func (s *pairSource) lastKey() uint64 {
+	if s.bucket != nil {
+		return s.bucket[len(s.bucket)-1].key
+	}
+	return s.seg.lastKey
+}
+
+// next returns the run's next pair. Drained in-memory sources release
+// their bucket's backing array immediately (not at the end of the
+// whole merge) so GC can reclaim buckets while later sources are still
+// merging.
+func (s *pairSource) next() (pair, error) {
+	if s.bucket != nil {
+		p := s.bucket[s.pos]
+		s.bucket[s.pos] = pair{} // drop the tuple ref as consumed
+		s.pos++
+		if s.pos == len(s.bucket) {
+			s.bucket = nil // release as the cursor drains
+			s.pos = -1
+		}
+		return p, nil
+	}
+	if s.br == nil {
+		s.br = bufio.NewReaderSize(io.NewSectionReader(s.file, s.seg.off, s.seg.n), 32<<10)
+	}
+	p, err := readPair(s.br)
+	if err != nil {
+		return pair{}, fmt.Errorf("mr: read spilled pair: %w", err)
+	}
+	s.pos++
+	if s.pos == s.seg.count {
+		s.br = nil // release the read buffer
+		s.pos = -1
+	}
+	return p, nil
+}
+
+func (s *pairSource) drained() bool { return s.pos == -1 || s.count() == 0 }
+
+// mergeSources streams the k-way merge of key-sorted sources (ordered
+// by (task, flush) ordinal) to emit, in (key, source ordinal) order —
+// the same global order the in-memory engine's stable sort produced.
+// Memory held is one pair per live source.
+func mergeSources(srcs []*pairSource, emit func(pair, *pairSource) error) error {
+	live := srcs[:0]
+	for _, s := range srcs {
+		if s.count() > 0 {
+			live = append(live, s)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	// Fast path: concatenation in source order is already globally
+	// ordered (boundary ties are fine — source order is the desired
+	// order for equal keys).
+	ordered := true
+	for i := 1; i < len(live); i++ {
+		if live[i].firstKey() < live[i-1].lastKey() {
+			ordered = false
+			break
+		}
+	}
+	if ordered {
+		for _, s := range live {
+			for !s.drained() {
+				p, err := s.next()
+				if err != nil {
+					return err
+				}
+				if err := emit(p, s); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	// Binary min-heap of source ordinals keyed by (head key, ordinal).
+	heads := make([]pair, len(live))
+	for i, s := range live {
+		p, err := s.next()
+		if err != nil {
+			return err
+		}
+		heads[i] = p
+	}
+	heap := make([]int, len(live))
+	for i := range heap {
+		heap[i] = i
+	}
+	less := func(a, b int) bool {
+		ka, kb := heads[a].key, heads[b].key
+		return ka < kb || (ka == kb && a < b)
+	}
+	var siftDown func(i, size int)
+	siftDown = func(i, size int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < size && less(heap[l], heap[small]) {
+				small = l
+			}
+			if r < size && less(heap[r], heap[small]) {
+				small = r
+			}
+			if small == i {
+				return
+			}
+			heap[i], heap[small] = heap[small], heap[i]
+			i = small
+		}
+	}
+	size := len(heap)
+	for i := size/2 - 1; i >= 0; i-- {
+		siftDown(i, size)
+	}
+	for size > 0 {
+		b := heap[0]
+		s := live[b]
+		if err := emit(heads[b], s); err != nil {
+			return err
+		}
+		if s.drained() {
+			heads[b] = pair{}
+			size--
+			heap[0] = heap[size]
+		} else {
+			p, err := s.next()
+			if err != nil {
+				return err
+			}
+			heads[b] = p
+		}
+		siftDown(0, size)
+	}
+	return nil
+}

@@ -1,0 +1,700 @@
+package relation
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Chunk-framed binary codec, v3 ("RELC"). The header is the v2 layout
+// (schema columns + optional per-column dictionaries); the body is a
+// sequence of self-delimiting columnar chunk frames instead of one
+// row-major tuple section, so a relation serializes and loads chunk by
+// chunk without ever materializing all rows:
+//
+//	magic "RELC" | u16 ncols |
+//	per col: u8 kindByte, u16 nameLen, name, u8 hasDict,
+//	         [uvarint nstrs, nstrs × (uvarint len, bytes)] |
+//	chunk frame* | u32 0 (terminator)
+//
+// Each chunk frame is:
+//
+//	u32 nrows | per column:
+//	  u8 hasSkip | [ceil(nrows/64) × u64 skip bitmap] |
+//	  per row with clear skip bit (fast payload):
+//	    int/time → u64 payload | float → u64 bits |
+//	    string → u8 tag: 0 plain (u32 len, bytes)
+//	                     1 dict slot (uvarint slot; string restored
+//	                       from the column dictionary)
+//	                     2 interned inline (uvarint slot, u32 len,
+//	                       bytes; for codes not resolvable through the
+//	                       column dictionary) |
+//	  uvarint nexc | nexc × (uvarint row, raw value)
+//
+// Rows with a set skip bit and no exception entry are NULL; exception
+// entries hold the exact Value for rows whose dynamic kind differs
+// from the declared column kind. Every layout choice preserves Value
+// bit-identity — dictionary code slots included — so EncodedSize, sort
+// keys and content hashes are unchanged by a round trip.
+//
+// The raw value layout (WriteValueRaw/ReadValueRaw) is a
+// self-describing per-value encoding that needs no dictionary context:
+// strings always carry their code slot and inline bytes. The mr spill
+// path uses it to write shuffle pairs to disk and reload them
+// bit-identically.
+
+const binaryMagicChunked = "RELC"
+
+// WriteValueRaw writes v in the self-describing raw layout: kind byte,
+// then an 8-byte payload for numeric kinds, or uvarint(code slot) +
+// u32 length + bytes for strings. Unlike the relation codecs it
+// preserves interned-string code slots without dictionary context, so
+// a reloaded value is bit-identical to the original (EncodedSize
+// included).
+func WriteValueRaw(bw *bufio.Writer, v Value) error {
+	if err := bw.WriteByte(byte(v.kind)); err != nil {
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	switch v.kind {
+	case KindNull:
+		return nil
+	case KindInt, KindTime:
+		binary.LittleEndian.PutUint64(scratch[:8], uint64(v.i))
+		_, err := bw.Write(scratch[:8])
+		return err
+	case KindFloat:
+		binary.LittleEndian.PutUint64(scratch[:8], floatBits(v.f))
+		_, err := bw.Write(scratch[:8])
+		return err
+	case KindString:
+		n := binary.PutUvarint(scratch[:], uint64(v.i)) // code slot (0 = not interned)
+		if _, err := bw.Write(scratch[:n]); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(scratch[:4], uint32(len(v.s)))
+		if _, err := bw.Write(scratch[:4]); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(v.s)
+		return err
+	default:
+		return fmt.Errorf("relation: write raw value: unknown kind %v", v.kind)
+	}
+}
+
+// ReadValueRaw reads a value written by WriteValueRaw.
+func ReadValueRaw(br *bufio.Reader) (Value, error) {
+	kb, err := br.ReadByte()
+	if err != nil {
+		return Null(), err
+	}
+	var scratch [8]byte
+	switch Kind(kb) {
+	case KindNull:
+		return Null(), nil
+	case KindInt, KindTime:
+		if _, err := io.ReadFull(br, scratch[:8]); err != nil {
+			return Null(), err
+		}
+		n := int64(binary.LittleEndian.Uint64(scratch[:8]))
+		if Kind(kb) == KindTime {
+			return TimeUnix(n), nil
+		}
+		return Int(n), nil
+	case KindFloat:
+		if _, err := io.ReadFull(br, scratch[:8]); err != nil {
+			return Null(), err
+		}
+		return Float(floatFromBits(binary.LittleEndian.Uint64(scratch[:8]))), nil
+	case KindString:
+		slot, err := binary.ReadUvarint(br)
+		if err != nil {
+			return Null(), err
+		}
+		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+			return Null(), err
+		}
+		n := binary.LittleEndian.Uint32(scratch[:4])
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return Null(), err
+		}
+		return Value{kind: KindString, s: string(buf), i: int64(slot)}, nil
+	default:
+		return Null(), fmt.Errorf("relation: read raw value: unknown kind byte %d", kb)
+	}
+}
+
+// WriteTupleRaw writes a tuple as uvarint(arity) followed by its
+// values in the raw layout.
+func WriteTupleRaw(bw *bufio.Writer, t Tuple) error {
+	var scratch [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(scratch[:], uint64(len(t)))
+	if _, err := bw.Write(scratch[:n]); err != nil {
+		return err
+	}
+	for _, v := range t {
+		if err := WriteValueRaw(bw, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadTupleRaw reads a tuple written by WriteTupleRaw.
+func ReadTupleRaw(br *bufio.Reader) (Tuple, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	t := make(Tuple, n)
+	for i := range t {
+		v, err := ReadValueRaw(br)
+		if err != nil {
+			return nil, err
+		}
+		t[i] = v
+	}
+	return t, nil
+}
+
+// ChunkEncoder writes a RELC stream: header once, then one frame per
+// EncodeChunk call, terminated by Close.
+type ChunkEncoder struct {
+	bw    *bufio.Writer
+	dicts []*Dict
+	done  bool
+}
+
+// NewChunkEncoder writes the RELC header for the schema (and optional
+// per-column dictionaries; pass nil for none) and returns an encoder
+// for the chunk frames.
+func NewChunkEncoder(w io.Writer, schema *Schema, dicts []*Dict) (*ChunkEncoder, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagicChunked); err != nil {
+		return nil, err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	writeU16 := func(v uint16) error {
+		binary.LittleEndian.PutUint16(scratch[:2], v)
+		_, err := bw.Write(scratch[:2])
+		return err
+	}
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	if err := writeU16(uint16(schema.Len())); err != nil {
+		return nil, err
+	}
+	for i := 0; i < schema.Len(); i++ {
+		c := schema.Column(i)
+		if err := bw.WriteByte(byte(c.Kind)); err != nil {
+			return nil, err
+		}
+		if err := writeU16(uint16(len(c.Name))); err != nil {
+			return nil, err
+		}
+		if _, err := bw.WriteString(c.Name); err != nil {
+			return nil, err
+		}
+		var d *Dict
+		if i < len(dicts) {
+			d = dicts[i]
+		}
+		if d == nil {
+			if err := bw.WriteByte(0); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := bw.WriteByte(1); err != nil {
+			return nil, err
+		}
+		if err := writeUvarint(uint64(d.Len())); err != nil {
+			return nil, err
+		}
+		for c := int64(0); c < int64(d.Len()); c++ {
+			s := d.At(c)
+			if err := writeUvarint(uint64(len(s))); err != nil {
+				return nil, err
+			}
+			if _, err := bw.WriteString(s); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &ChunkEncoder{bw: bw, dicts: dicts}, nil
+}
+
+// EncodeChunk appends one chunk frame. Empty chunks are skipped (a
+// zero row count is the stream terminator).
+func (e *ChunkEncoder) EncodeChunk(c *Chunk) error {
+	if e.done {
+		return fmt.Errorf("relation: chunk encoder already closed")
+	}
+	if c.Rows() == 0 {
+		return nil
+	}
+	return encodeChunkFrame(e.bw, c, e.dicts)
+}
+
+// Close writes the terminator frame and flushes.
+func (e *ChunkEncoder) Close() error {
+	if e.done {
+		return nil
+	}
+	e.done = true
+	var scratch [4]byte
+	binary.LittleEndian.PutUint32(scratch[:], 0)
+	if _, err := e.bw.Write(scratch[:]); err != nil {
+		return err
+	}
+	return e.bw.Flush()
+}
+
+// EncodeChunk writes a single standalone chunk frame (no header, no
+// terminator) — the dfs block store's on-disk unit. dicts provides the
+// dictionary context for slot-only string encoding and may be nil.
+func EncodeChunk(w io.Writer, c *Chunk, dicts []*Dict) error {
+	bw := bufio.NewWriter(w)
+	if err := encodeChunkFrame(bw, c, dicts); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// DecodeChunk reads a single standalone chunk frame written by
+// EncodeChunk, against the given schema and dictionaries.
+func DecodeChunk(r io.Reader, schema *Schema, dicts []*Dict) (*Chunk, error) {
+	br := bufio.NewReader(r)
+	c, err := decodeChunkFrame(br, schema, dicts)
+	if err != nil {
+		return nil, err
+	}
+	if c == nil {
+		return nil, fmt.Errorf("relation: decode chunk: empty frame")
+	}
+	return c, nil
+}
+
+func encodeChunkFrame(bw *bufio.Writer, c *Chunk, dicts []*Dict) error {
+	var scratch [binary.MaxVarintLen64]byte
+	writeU32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		_, err := bw.Write(scratch[:4])
+		return err
+	}
+	writeU64 := func(v uint64) error {
+		binary.LittleEndian.PutUint64(scratch[:8], v)
+		_, err := bw.Write(scratch[:8])
+		return err
+	}
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	if err := writeU32(uint32(c.n)); err != nil {
+		return err
+	}
+	for ci := range c.cols {
+		cv := &c.cols[ci]
+		hasSkip := cv.skip.any()
+		b := byte(0)
+		if hasSkip {
+			b = 1
+		}
+		if err := bw.WriteByte(b); err != nil {
+			return err
+		}
+		if hasSkip {
+			for _, w := range cv.skip {
+				if err := writeU64(w); err != nil {
+					return err
+				}
+			}
+		}
+		var d *Dict
+		if ci < len(dicts) {
+			d = dicts[ci]
+		}
+		for i := 0; i < c.n; i++ {
+			if hasSkip && cv.skip.get(i) {
+				continue
+			}
+			switch cv.kind {
+			case KindInt, KindTime:
+				if err := writeU64(uint64(cv.ints[i])); err != nil {
+					return err
+				}
+			case KindFloat:
+				if err := writeU64(floatBits(cv.floats[i])); err != nil {
+					return err
+				}
+			case KindString:
+				slot, s := cv.ints[i], cv.strs[i]
+				switch {
+				case slot > 0 && d != nil && slot <= int64(d.Len()) && d.At(slot-1) == s:
+					if err := bw.WriteByte(1); err != nil {
+						return err
+					}
+					if err := writeUvarint(uint64(slot)); err != nil {
+						return err
+					}
+				case slot > 0:
+					// Interned against something other than the column
+					// dictionary: keep slot and bytes inline.
+					if err := bw.WriteByte(2); err != nil {
+						return err
+					}
+					if err := writeUvarint(uint64(slot)); err != nil {
+						return err
+					}
+					if err := writeU32(uint32(len(s))); err != nil {
+						return err
+					}
+					if _, err := bw.WriteString(s); err != nil {
+						return err
+					}
+				default:
+					if err := bw.WriteByte(0); err != nil {
+						return err
+					}
+					if err := writeU32(uint32(len(s))); err != nil {
+						return err
+					}
+					if _, err := bw.WriteString(s); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		if err := writeUvarint(uint64(len(cv.exc))); err != nil {
+			return err
+		}
+		// Exception rows in row order for determinism.
+		if len(cv.exc) > 0 {
+			rows := make([]int, 0, len(cv.exc))
+			for r := range cv.exc {
+				rows = append(rows, r)
+			}
+			sortInts(rows)
+			for _, r := range rows {
+				if err := writeUvarint(uint64(r)); err != nil {
+					return err
+				}
+				if err := WriteValueRaw(bw, cv.exc[r]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// decodeChunkFrame reads one frame; a zero row count (the terminator)
+// returns (nil, nil).
+func decodeChunkFrame(br *bufio.Reader, schema *Schema, dicts []*Dict) (*Chunk, error) {
+	var scratch [8]byte
+	readU32 := func() (uint32, error) {
+		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(scratch[:4]), nil
+	}
+	readU64 := func() (uint64, error) {
+		if _, err := io.ReadFull(br, scratch[:8]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(scratch[:8]), nil
+	}
+	nrows32, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	n := int(nrows32)
+	if n == 0 {
+		return nil, nil
+	}
+	c := &Chunk{schema: schema, n: n, cols: make([]colVec, schema.Len())}
+	c.bytes = int64(n) * tupleFrameBytes
+	words := (n + 63) / 64
+	for ci := range c.cols {
+		cv := &c.cols[ci]
+		cv.kind = schema.Column(ci).Kind
+		hasSkip, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		cv.skip = make(bitmap, words)
+		if hasSkip != 0 {
+			for w := 0; w < words; w++ {
+				u, err := readU64()
+				if err != nil {
+					return nil, err
+				}
+				cv.skip[w] = u
+			}
+		}
+		var d *Dict
+		if ci < len(dicts) {
+			d = dicts[ci]
+		}
+		switch cv.kind {
+		case KindInt, KindTime:
+			cv.ints = make([]int64, n)
+		case KindFloat:
+			cv.floats = make([]float64, n)
+		case KindString:
+			cv.ints = make([]int64, n)
+			cv.strs = make([]string, n)
+		}
+		for i := 0; i < n; i++ {
+			if cv.skip.get(i) {
+				c.bytes++ // NULL (or exception, adjusted below)
+				continue
+			}
+			switch cv.kind {
+			case KindInt, KindTime:
+				u, err := readU64()
+				if err != nil {
+					return nil, err
+				}
+				cv.ints[i] = int64(u)
+				c.bytes += 9
+			case KindFloat:
+				u, err := readU64()
+				if err != nil {
+					return nil, err
+				}
+				cv.floats[i] = floatFromBits(u)
+				c.bytes += 9
+			case KindString:
+				tag, err := br.ReadByte()
+				if err != nil {
+					return nil, err
+				}
+				switch tag {
+				case 1:
+					slot, err := binary.ReadUvarint(br)
+					if err != nil {
+						return nil, err
+					}
+					if d == nil || slot == 0 || slot > uint64(d.Len()) {
+						return nil, fmt.Errorf("relation: decode chunk: dict slot %d unresolvable (col %d)", slot, ci)
+					}
+					cv.ints[i] = int64(slot)
+					cv.strs[i] = d.At(int64(slot) - 1)
+					c.bytes += int64(1 + uvarintLen(slot))
+				case 2:
+					slot, err := binary.ReadUvarint(br)
+					if err != nil {
+						return nil, err
+					}
+					slen, err := readU32()
+					if err != nil {
+						return nil, err
+					}
+					buf := make([]byte, slen)
+					if _, err := io.ReadFull(br, buf); err != nil {
+						return nil, err
+					}
+					cv.ints[i] = int64(slot)
+					cv.strs[i] = string(buf)
+					c.bytes += int64(1 + uvarintLen(slot))
+				case 0:
+					slen, err := readU32()
+					if err != nil {
+						return nil, err
+					}
+					buf := make([]byte, slen)
+					if _, err := io.ReadFull(br, buf); err != nil {
+						return nil, err
+					}
+					cv.strs[i] = string(buf)
+					c.bytes += int64(1 + 4 + len(buf))
+				default:
+					return nil, fmt.Errorf("relation: decode chunk: bad string tag %d", tag)
+				}
+			default:
+				c.bytes++ // declared-null column: every value is skip/exception
+			}
+		}
+		nexc, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if nexc > 0 {
+			cv.exc = make(map[int]Value, nexc)
+			for j := uint64(0); j < nexc; j++ {
+				row, err := binary.ReadUvarint(br)
+				if err != nil {
+					return nil, err
+				}
+				v, err := ReadValueRaw(br)
+				if err != nil {
+					return nil, err
+				}
+				cv.exc[int(row)] = v
+				c.bytes += int64(v.EncodedSize()) - 1 // replaces the NULL byte counted above
+			}
+		}
+	}
+	return c, nil
+}
+
+// ChunkDecoder streams a RELC file: header parsed at construction,
+// chunks decoded on demand. It implements ChunkIterator.
+type ChunkDecoder struct {
+	br     *bufio.Reader
+	schema *Schema
+	dicts  []*Dict
+	done   bool
+}
+
+// NewChunkDecoder parses the RELC header (the caller has not consumed
+// the magic) and returns a streaming decoder.
+func NewChunkDecoder(r io.Reader) (*ChunkDecoder, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("relation: read chunked magic: %w", err)
+	}
+	if string(magic) != binaryMagicChunked {
+		return nil, fmt.Errorf("relation: bad chunked magic %q", magic)
+	}
+	return newChunkDecoderAfterMagic(br)
+}
+
+func newChunkDecoderAfterMagic(br *bufio.Reader) (*ChunkDecoder, error) {
+	var scratch [8]byte
+	readU16 := func() (uint16, error) {
+		if _, err := io.ReadFull(br, scratch[:2]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint16(scratch[:2]), nil
+	}
+	ncols, err := readU16()
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]Column, ncols)
+	dicts := make([]*Dict, ncols)
+	for i := range cols {
+		kb, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		nameLen, err := readU16()
+		if err != nil {
+			return nil, err
+		}
+		nameBuf := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, nameBuf); err != nil {
+			return nil, err
+		}
+		cols[i] = Column{Name: string(nameBuf), Kind: Kind(kb)}
+		hasDict, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if hasDict == 0 {
+			continue
+		}
+		nstrs, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		strs := make([]string, nstrs)
+		for j := range strs {
+			slen, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			buf := make([]byte, slen)
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, err
+			}
+			strs[j] = string(buf)
+		}
+		dicts[i] = NewDict(strs)
+	}
+	schema, err := NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	return &ChunkDecoder{br: br, schema: schema, dicts: dicts}, nil
+}
+
+// Schema returns the decoded header schema.
+func (d *ChunkDecoder) Schema() *Schema { return d.schema }
+
+// Dicts returns the decoded per-column dictionaries (entries nil for
+// dictionary-less columns). The slice is all-nil when no column
+// carried a dictionary.
+func (d *ChunkDecoder) Dicts() []*Dict { return d.dicts }
+
+// HasDicts reports whether any column carries a dictionary.
+func (d *ChunkDecoder) HasDicts() bool {
+	for _, di := range d.dicts {
+		if di != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// NextChunk decodes the next frame; io.EOF after the terminator.
+func (d *ChunkDecoder) NextChunk() (*Chunk, error) {
+	if d.done {
+		return nil, io.EOF
+	}
+	c, err := decodeChunkFrame(d.br, d.schema, d.dicts)
+	if err != nil {
+		return nil, err
+	}
+	if c == nil {
+		d.done = true
+		return nil, io.EOF
+	}
+	return c, nil
+}
+
+// WriteBinaryChunked writes the relation in the RELC chunk-framed
+// format with at most rowsPerChunk rows per frame (DefaultChunkRows
+// when <= 0). Rows are framed columnar-chunk by columnar-chunk, so
+// peak transient memory is one chunk regardless of relation size.
+func WriteBinaryChunked(w io.Writer, r *Relation, rowsPerChunk int) error {
+	enc, err := NewChunkEncoder(w, r.Schema, r.Dicts)
+	if err != nil {
+		return err
+	}
+	it := r.ChunkStream(rowsPerChunk)
+	for {
+		c, err := it.NextChunk()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := enc.EncodeChunk(c); err != nil {
+			return err
+		}
+	}
+	return enc.Close()
+}
+
+// sortInts is a tiny insertion sort for the (rare, small) exception
+// row lists, avoiding a sort import in the codec hot path.
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -249,14 +249,37 @@ func writeValue(bw *bufio.Writer, scratch []byte, v Value) error {
 	}
 }
 
-// ReadBinary reads a relation written by WriteBinary, accepting both
-// the v1 ("RELB") and v2 ("REL2") framings; v2 files restore the
+// ReadBinary reads a relation written by WriteBinary or
+// WriteBinaryChunked, accepting the v1 ("RELB"), v2 ("REL2") and
+// chunk-framed v3 ("RELC") framings; v2/v3 files restore the
 // per-column dictionaries and re-intern their string values.
 func ReadBinary(r io.Reader, name string) (*Relation, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("relation: read binary magic: %w", err)
+	}
+	if string(magic) == binaryMagicChunked {
+		dec, err := newChunkDecoderAfterMagic(br)
+		if err != nil {
+			return nil, err
+		}
+		rel := New(name, dec.Schema())
+		if dec.HasDicts() {
+			rel.Dicts = dec.Dicts()
+		}
+		cur := NewCursor(dec)
+		for {
+			t, ok, err := cur.Next()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			rel.Tuples = append(rel.Tuples, t)
+		}
+		return rel, nil
 	}
 	v2 := string(magic) == binaryMagicV2
 	if !v2 && string(magic) != binaryMagic {
