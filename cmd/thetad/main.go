@@ -7,7 +7,7 @@
 //
 //	thetad -rel A=a.csv -rel B=b.csv [-addr :7077] [-kp 96] \
 //	       [-max-concurrent 4] [-max-queue 16] [-queue-timeout 10s] \
-//	       [-min-budget 1] [-no-warm] [-trace f] [-metrics f]
+//	       [-query-timeout 0] [-min-budget 1] [-no-warm] [-trace f] [-metrics f]
 //
 // Endpoints (see internal/server):
 //
@@ -59,6 +59,7 @@ func run() error {
 	maxConcurrent := flag.Int("max-concurrent", 4, "queries admitted to execution at once")
 	maxQueue := flag.Int("max-queue", 16, "queued admissions before rejecting with 429")
 	queueTimeout := flag.Duration("queue-timeout", 10*time.Second, "max time a submission waits for admission")
+	queryTimeout := flag.Duration("query-timeout", 0, "per-query execution deadline after admission (0 = none); expiry degrades that query to 503 + Retry-After")
 	minBudget := flag.Int("min-budget", 1, "floor for a query's unit budget")
 	noWarm := flag.Bool("no-warm", false, "disable warm-start plan revision from measured statistics")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of all executions to `file` on shutdown")
@@ -101,6 +102,7 @@ func run() error {
 		MaxConcurrent:    *maxConcurrent,
 		MaxQueue:         *maxQueue,
 		QueueTimeout:     *queueTimeout,
+		QueryTimeout:     *queryTimeout,
 		MinBudget:        *minBudget,
 		Obs:              o,
 		DisableWarmStart: *noWarm,

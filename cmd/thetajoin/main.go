@@ -5,7 +5,8 @@
 //
 //	thetajoin -rel A=a.csv -rel B=b.csv -cond "A.x < B.y" [-cond ...] \
 //	          [-kp 96] [-explain] [-limit 20] [-out result.csv] \
-//	          [-trace f] [-metrics f] [-pprof addr] [-spill-budget-mb MB]
+//	          [-trace f] [-metrics f] [-pprof addr] [-spill-budget-mb MB] \
+//	          [-faults "seed=7,map-kills=2,..."]
 //	thetajoin -server http://localhost:7077 -query "FROM A, B WHERE A.x < B.y"
 //
 // With -server the query is submitted to a running thetad daemon
@@ -74,6 +75,7 @@ func run() error {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on `addr` (e.g. localhost:6060) during execution")
 	serverURL := flag.String("server", "", "submit -query to a running thetad at `url` (e.g. http://localhost:7077) instead of executing locally")
 	spillMB := flag.Int("spill-budget-mb", 0, "bound real shuffle memory per map task at `MB`, spilling sorted runs to a temp block store (0 = fully in-memory); results are bit-identical either way")
+	faultSpec := flag.String("faults", "", `inject a seeded fault plan, e.g. "seed=7,map-kills=2,reduce-kills=1,corrupt-frames=1,stragglers=1,delay=300ms"; all faults are retried and the result hash stays identical to a fault-free run`)
 	flag.Parse()
 
 	if *serverURL != "" {
@@ -179,6 +181,13 @@ func run() error {
 		}
 		defer store.Close()
 		cfg.Spill = store
+	}
+	if *faultSpec != "" {
+		plan, err := mr.ParseFaultPlan(*faultSpec)
+		if err != nil {
+			return fmt.Errorf("-faults: %w", err)
+		}
+		cfg.Faults = plan
 	}
 	pl := core.NewPlanner(cfg, *kp)
 	plan, err := pl.Plan(q, db)

@@ -1,0 +1,30 @@
+package core
+
+import "repro/internal/relation"
+
+// Checkpointer persists a cascade's completed intermediate relations
+// so a failed plan can resume without re-executing the jobs that
+// already finished. internal/dfs's CheckpointStore implements it
+// (structurally — neither package imports the other); tests may plug
+// in anything.
+//
+// The executor saves every CONSUMED intermediate (a planned job whose
+// output another planned job reads) under (plan key, job name) the
+// moment the job completes, and on resume (PlanOptions.ResumeFrom)
+// loads whatever the store still holds, re-executing only the rest.
+// Terminal job outputs are never checkpointed — they feed the final
+// merge directly and re-deriving them is exactly the work a resumed
+// plan must redo.
+//
+// Implementations must return bit-identical relations from
+// LoadIntermediate (content, dictionaries, volume multiplier) and be
+// safe for concurrent use; save and load run from the executor's
+// dispatch goroutine but multiple plans may share one store.
+type Checkpointer interface {
+	// SaveIntermediate persists job's output under (plan, job),
+	// replacing any previous checkpoint for the key.
+	SaveIntermediate(plan, job string, r *relation.Relation) error
+	// LoadIntermediate rebuilds the checkpoint for (plan, job),
+	// reporting ok=false when none is held.
+	LoadIntermediate(plan, job string) (*relation.Relation, bool, error)
+}

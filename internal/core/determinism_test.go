@@ -21,6 +21,12 @@ import (
 // metrics only (see mr.WallTime).
 func zeroWall(m mr.Metrics) mr.Metrics {
 	m.Wall = mr.WallTime{}
+	// Attempt and speculation counts are wall-clock dependent (retry
+	// and straggler scheduling follow real time); strip them like Wall.
+	m.MapAttempts = 0
+	m.ReduceAttempts = 0
+	m.SpeculativeLaunched = 0
+	m.SpeculativeWins = 0
 	return m
 }
 

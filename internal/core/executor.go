@@ -55,6 +55,28 @@ type ExecResult struct {
 	// name): a resident server persists them and warm-starts later
 	// plans via Planner.WarmRevise. Nil when nothing was observed.
 	Measured map[string]MeasuredStat
+	// Fault-tolerance telemetry aggregated across jobs. TaskAttempts
+	// totals map+reduce attempts launched (wall-clock dependent — retry
+	// and speculation scheduling follow real time — so determinism
+	// assertions must ignore it, like Wall); TaskFailures totals the
+	// deterministically charged task failures (legacy sim injection plus
+	// planned fault-plan kills); SpeculativeLaunched/SpeculativeWins
+	// count straggler backups (also wall-clock dependent).
+	// ChecksumFailures and FailoverReads count detected spill-frame
+	// corruptions and the replica re-reads that absorbed them — both
+	// deterministic.
+	TaskAttempts        int
+	TaskFailures        int
+	SpeculativeLaunched int
+	SpeculativeWins     int
+	ChecksumFailures    int64
+	FailoverReads       int64
+	// CheckpointSaved lists (sorted) the intermediates persisted via
+	// PlanOptions.Checkpoint; CheckpointRestored lists the jobs that
+	// were NOT executed because PlanOptions.ResumeFrom found their
+	// checkpoint. A restored job's JobMetrics entry is synthetic zero.
+	CheckpointSaved    []string
+	CheckpointRestored []string
 	// Wall is the MEASURED wall-clock duration of the whole execution
 	// (jobs + merge) on this machine — the real-time counterpart of the
 	// modeled Makespan. Per-job measured breakdowns live in
@@ -211,6 +233,37 @@ func (pl *Planner) ExecuteContext(ctx context.Context, plan *Plan, db *DB) (*Exe
 	inflight, maxInflight, nDone := 0, 0, 0
 	var firstErr error
 
+	// Cascade resume: restore whatever intermediates the checkpoint
+	// store still holds for the failed run before dispatching anything,
+	// so only un-checkpointed jobs re-execute. A restored job completes
+	// instantly with synthetic zero metrics and a nil trace; only
+	// consumed intermediates are ever checkpointed, so terminal jobs
+	// always re-run.
+	var restoredJobs, savedJobs []string
+	if pl.Opts.Checkpoint != nil && pl.Opts.ResumeFrom != "" {
+		for i := range plan.Jobs {
+			pj := &plan.Jobs[i]
+			if !consumed[pj.Name] {
+				continue
+			}
+			r, ok, err := pl.Opts.Checkpoint.LoadIntermediate(pl.Opts.ResumeFrom, pj.Name)
+			if err != nil {
+				return nil, fmt.Errorf("core: restore checkpoint %s/%s: %w", pl.Opts.ResumeFrom, pj.Name, err)
+			}
+			if !ok {
+				continue
+			}
+			results[i] = &mr.Result{Output: r}
+			started[i] = true
+			completed[pj.Name] = true
+			produced[pj.Name] = r
+			restoredJobs = append(restoredJobs, pj.Name)
+			nDone++
+			execShard.Instant("checkpoint-restore", obs.A("job", pj.Name),
+				obs.A("tuples", r.Cardinality()))
+		}
+	}
+
 	for nDone < len(order) {
 		// Fetch the pool's wake-up channel BEFORE scanning: any release
 		// by another plan after this point closes exactly this channel,
@@ -331,6 +384,18 @@ func (pl *Planner) ExecuteContext(ctx context.Context, plan *Plan, db *DB) (*Exe
 		if !pl.Opts.DisableReplan && consumed[pj.Name] {
 			fb.observe(pj.Name, msg.res)
 		}
+		// Checkpoint completed intermediates so a later failure in the
+		// cascade can resume from here. Save errors degrade gracefully:
+		// the run proceeds un-checkpointed (resume just re-executes).
+		if pl.Opts.Checkpoint != nil && consumed[pj.Name] {
+			if err := pl.Opts.Checkpoint.SaveIntermediate(plan.Query.Name, pj.Name, msg.res.Output); err != nil {
+				o.Counter("core/checkpoint_errors").Add(1)
+				execShard.Instant("checkpoint-error", obs.A("job", pj.Name), obs.A("error", err.Error()))
+			} else {
+				savedJobs = append(savedJobs, pj.Name)
+				execShard.Instant("checkpoint-save", obs.A("job", pj.Name))
+			}
+		}
 		nDone++
 	}
 	if firstErr != nil {
@@ -359,6 +424,12 @@ func (pl *Planner) ExecuteContext(ctx context.Context, plan *Plan, db *DB) (*Exe
 		if run.Metrics.PeakLiveBytes > res.PeakLiveBytes {
 			res.PeakLiveBytes = run.Metrics.PeakLiveBytes
 		}
+		res.TaskAttempts += run.Metrics.MapAttempts + run.Metrics.ReduceAttempts
+		res.TaskFailures += run.Metrics.MapFailures + run.Metrics.ReduceFailures
+		res.SpeculativeLaunched += run.Metrics.SpeculativeLaunched
+		res.SpeculativeWins += run.Metrics.SpeculativeWins
+		res.ChecksumFailures += run.Metrics.ChecksumFailures
+		res.FailoverReads += run.Metrics.FailoverReads
 		outputs[i] = run.Output
 		// Measured duration at the allotted units, scaled for the
 		// re-scheduling pass.
@@ -408,6 +479,10 @@ func (pl *Planner) ExecuteContext(ctx context.Context, plan *Plan, db *DB) (*Exe
 		res.Replanned = append(res.Replanned, name)
 	}
 	sort.Strings(res.Replanned)
+	res.CheckpointSaved = savedJobs
+	sort.Strings(res.CheckpointSaved)
+	res.CheckpointRestored = restoredJobs
+	sort.Strings(res.CheckpointRestored)
 	res.Output = final
 	res.MergeCount = len(steps)
 	res.MergeTime = mergeTime

@@ -49,6 +49,21 @@ type PlanOptions struct {
 	// measured statistics at dispatch time (see replan.go; kept for
 	// the static-vs-feedback ablation).
 	DisableReplan bool
+	// Checkpoint, when set, persists every completed cascade
+	// intermediate under (query name, job name) so a failed plan can be
+	// resumed (see Checkpointer). Save failures degrade gracefully: the
+	// run continues un-checkpointed and counts the error under
+	// core/checkpoint_errors.
+	Checkpoint Checkpointer
+	// ResumeFrom names the plan key (normally the query name of the
+	// failed run) whose checkpoints ExecuteContext should restore
+	// before dispatching: intermediates found in Checkpoint are not
+	// re-executed — their jobs complete instantly with synthetic zero
+	// metrics — and only un-checkpointed jobs run. Empty disables
+	// restore. Restored jobs bypass the feedback loop (there are no
+	// measured statistics), so downstream replanning falls back to the
+	// static plan.
+	ResumeFrom string
 }
 
 // skewThreshold resolves the effective hot-key trigger.

@@ -75,6 +75,18 @@ func (r *ExecResult) Report() string {
 		fmt.Fprintf(&b, "  spill: %s in %d runs; peak live pair bytes: %s\n",
 			fmtBytes(r.SpillBytes), r.SpillRuns, fmtBytes(r.PeakLiveBytes))
 	}
+	if r.TaskAttempts > 0 || r.TaskFailures > 0 || r.ChecksumFailures > 0 {
+		fmt.Fprintf(&b, "  fault tolerance: %d task attempts, %d retried failures, %d speculative (%d won), %d checksum failures (%d failover reads)\n",
+			r.TaskAttempts, r.TaskFailures, r.SpeculativeLaunched, r.SpeculativeWins,
+			r.ChecksumFailures, r.FailoverReads)
+	}
+	if len(r.CheckpointRestored) > 0 {
+		fmt.Fprintf(&b, "  checkpoint restore: %d jobs skipped (%s)\n",
+			len(r.CheckpointRestored), strings.Join(r.CheckpointRestored, ", "))
+	}
+	if len(r.CheckpointSaved) > 0 {
+		fmt.Fprintf(&b, "  checkpoints saved: %s\n", strings.Join(r.CheckpointSaved, ", "))
+	}
 	fmt.Fprintf(&b, "  makespan (MODELED cluster seconds): %.1f\n", r.Makespan)
 	fmt.Fprintf(&b, "  wall time (MEASURED on this machine): %s\n", fmtDur(r.Wall))
 	return b.String()

@@ -4,12 +4,15 @@ import (
 	"bufio"
 	"container/list"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/mr"
+	"repro/internal/obs"
 	"repro/internal/relation"
 )
 
@@ -53,6 +56,19 @@ type BlockStore struct {
 	pages       map[pageKey]*list.Element
 	hits        int64
 	misses      int64
+
+	// Integrity: every sealed page carries a CRC32 computed at write
+	// time and verified on every cache fill; a mismatch triggers up to
+	// `replicas` total disk reads (failover to a surviving replica)
+	// before the read fails. Counters are quarantine telemetry.
+	replicas         int
+	o                *obs.Obs
+	checksumFailures atomic.Int64
+	failoverReads    atomic.Int64
+	// corruptFill is a test hook invoked after each disk read of a page
+	// fill, free to mutate data in place — the way tests model transient
+	// (attempt-scoped) versus persistent corruption. nil in production.
+	corruptFill func(file int, page int64, attempt int, data []byte)
 }
 
 type pageKey struct {
@@ -87,9 +103,36 @@ func NewBlockStore(dir string, cacheBudgetBytes int64) (*BlockStore, error) {
 		owned:       owned,
 		pageSize:    DefaultPageSize,
 		cacheBudget: cacheBudgetBytes,
+		replicas:    3, // dfs.replication default (Table 1)
 		lru:         list.New(),
 		pages:       make(map[pageKey]*list.Element),
 	}, nil
+}
+
+// SetReplication sets how many total disk reads a checksum-failed page
+// fill may attempt (the replica count read failover can fall back on).
+// Values below 1 are clamped to 1 — verify once, never fail over.
+func (s *BlockStore) SetReplication(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.mu.Lock()
+	s.replicas = n
+	s.mu.Unlock()
+}
+
+// AttachObs routes the store's quarantine counters
+// (dfs/checksum_failures, dfs/failover_reads) to o. nil detaches.
+func (s *BlockStore) AttachObs(o *obs.Obs) {
+	s.mu.Lock()
+	s.o = o
+	s.mu.Unlock()
+}
+
+// IntegrityStats reports detected page corruptions and the successful
+// replica re-reads that absorbed them.
+func (s *BlockStore) IntegrityStats() (checksumFailures, failoverReads int64) {
+	return s.checksumFailures.Load(), s.failoverReads.Load()
 }
 
 // CreateSpillFile implements mr.SpillStore: a new write-once file in
@@ -136,9 +179,11 @@ func (s *BlockStore) Close() error {
 	return nil
 }
 
-// readThrough copies [off, off+len(p)) of file id into p via the page
-// cache. The caller guarantees the range is within the sealed size.
-func (s *BlockStore) readThrough(id int, f *os.File, size, off int64, p []byte) (int, error) {
+// readThrough copies [off, off+len(p)) of the sealed file into p via
+// the page cache. The caller guarantees the range is within the sealed
+// size.
+func (s *BlockStore) readThrough(b *blockFile, off int64, p []byte) (int, error) {
+	size := b.size
 	if off < 0 || off >= size {
 		return 0, fmt.Errorf("dfs: read at %d outside sealed file of %d bytes", off, size)
 	}
@@ -146,7 +191,7 @@ func (s *BlockStore) readThrough(id int, f *os.File, size, off int64, p []byte) 
 	for n < len(p) && off+int64(n) < size {
 		pos := off + int64(n)
 		pageIdx := pos / s.pageSize
-		data, err := s.page(pageKey{file: id, page: pageIdx}, f, size)
+		data, err := s.page(pageKey{file: b.id, page: pageIdx}, b)
 		if err != nil {
 			return n, err
 		}
@@ -158,8 +203,9 @@ func (s *BlockStore) readThrough(id int, f *os.File, size, off int64, p []byte) 
 	return n, nil
 }
 
-// page returns the cached page, filling it from disk on a miss.
-func (s *BlockStore) page(k pageKey, f *os.File, size int64) ([]byte, error) {
+// page returns the cached page, filling (and checksum-verifying) it
+// from disk on a miss.
+func (s *BlockStore) page(k pageKey, b *blockFile) ([]byte, error) {
 	s.mu.Lock()
 	if el, ok := s.pages[k]; ok {
 		s.hits++
@@ -169,18 +215,38 @@ func (s *BlockStore) page(k pageKey, f *os.File, size int64) ([]byte, error) {
 		return data, nil
 	}
 	s.misses++
+	replicas, o, hook := s.replicas, s.o, s.corruptFill
 	s.mu.Unlock()
 
 	// Fill outside the lock; a racing reader of the same page just
 	// fills it twice, and the second insert finds it already cached.
 	pageOff := k.page * s.pageSize
 	pageLen := s.pageSize
-	if pageOff+pageLen > size {
-		pageLen = size - pageOff
+	if pageOff+pageLen > b.size {
+		pageLen = b.size - pageOff
 	}
 	data := make([]byte, pageLen)
-	if _, err := f.ReadAt(data, pageOff); err != nil {
-		return nil, err
+	want, verify := b.pageCRC(k.page)
+	for attempt := 1; ; attempt++ {
+		if _, err := b.f.ReadAt(data, pageOff); err != nil {
+			return nil, err
+		}
+		if hook != nil {
+			hook(k.file, k.page, attempt, data)
+		}
+		if !verify || crc32.ChecksumIEEE(data) == want {
+			break
+		}
+		// Corrupted page: count it, then fail over to a replica
+		// re-read while any remain.
+		s.checksumFailures.Add(1)
+		o.Counter("dfs/checksum_failures").Add(1)
+		if attempt >= replicas {
+			return nil, fmt.Errorf("dfs: file %d page %d: checksum mismatch on all %d replicas",
+				k.file, k.page, replicas)
+		}
+		s.failoverReads.Add(1)
+		o.Counter("dfs/failover_reads").Add(1)
 	}
 
 	s.mu.Lock()
@@ -221,7 +287,9 @@ func (s *BlockStore) dropFile(id int) {
 	}
 }
 
-// blockFile is one write-once file in a BlockStore.
+// blockFile is one write-once file in a BlockStore. Writes accumulate
+// a CRC32 per store page as the bytes stream through, so sealing costs
+// nothing extra and every post-seal page fill can be verified.
 type blockFile struct {
 	store  *BlockStore
 	id     int
@@ -229,6 +297,10 @@ type blockFile struct {
 	bw     *bufio.Writer
 	size   int64
 	sealed bool
+
+	crcs   []uint32 // per-page CRC32; the last entry covers a partial page
+	cur    uint32   // running CRC of the page being written
+	curLen int64    // bytes of the current page seen so far
 }
 
 func (b *blockFile) Write(p []byte) (int, error) {
@@ -236,6 +308,19 @@ func (b *blockFile) Write(p []byte) (int, error) {
 		return 0, fmt.Errorf("dfs: write to sealed block file")
 	}
 	n, err := b.bw.Write(p)
+	for q := p[:n]; len(q) > 0; {
+		take := b.store.pageSize - b.curLen
+		if take > int64(len(q)) {
+			take = int64(len(q))
+		}
+		b.cur = crc32.Update(b.cur, crc32.IEEETable, q[:take])
+		b.curLen += take
+		q = q[take:]
+		if b.curLen == b.store.pageSize {
+			b.crcs = append(b.crcs, b.cur)
+			b.cur, b.curLen = 0, 0
+		}
+	}
 	b.size += int64(n)
 	return n, err
 }
@@ -247,15 +332,27 @@ func (b *blockFile) Seal() error {
 	if err := b.bw.Flush(); err != nil {
 		return err
 	}
+	if b.curLen > 0 { // finalize the trailing partial page
+		b.crcs = append(b.crcs, b.cur)
+		b.cur, b.curLen = 0, 0
+	}
 	b.sealed = true
 	return nil
+}
+
+// pageCRC returns the sealed CRC of page i, when one was recorded.
+func (b *blockFile) pageCRC(i int64) (uint32, bool) {
+	if i < 0 || i >= int64(len(b.crcs)) {
+		return 0, false
+	}
+	return b.crcs[i], true
 }
 
 func (b *blockFile) ReadAt(p []byte, off int64) (int, error) {
 	if !b.sealed {
 		return 0, fmt.Errorf("dfs: read from unsealed block file")
 	}
-	return b.store.readThrough(b.id, b.f, b.size, off, p)
+	return b.store.readThrough(b, off, p)
 }
 
 func (b *blockFile) Release() error {

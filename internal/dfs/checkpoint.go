@@ -1,0 +1,107 @@
+package dfs
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// CheckpointStore persists a plan's completed intermediate relations in
+// a BlockStore so a failed cascade can resume without re-executing the
+// jobs that already finished. It satisfies internal/core's Checkpointer
+// contract structurally (core never imports dfs, dfs never imports
+// core): SaveIntermediate stores the relation as chunk-framed columnar
+// blocks — page-checksummed like every block in the store — and
+// LoadIntermediate rebuilds it bit-identically.
+//
+// Checkpoints are keyed by (plan, job). Saving the same key again
+// replaces the previous checkpoint and releases its blocks. All methods
+// are safe for concurrent use.
+type CheckpointStore struct {
+	store *BlockStore
+
+	mu      sync.Mutex
+	entries map[string]checkpointEntry
+}
+
+type checkpointEntry struct {
+	cf   *ChunkedFile
+	mult float64
+}
+
+// NewCheckpointStore wraps s as a checkpoint sink. The caller keeps
+// ownership of s (Close releases the checkpoints with everything else).
+func NewCheckpointStore(s *BlockStore) *CheckpointStore {
+	return &CheckpointStore{store: s, entries: make(map[string]checkpointEntry)}
+}
+
+func checkpointKey(plan, job string) string { return plan + "\x00" + job }
+
+// SaveIntermediate persists job's output relation under (plan, job).
+func (c *CheckpointStore) SaveIntermediate(plan, job string, r *relation.Relation) error {
+	cf, err := c.store.WriteChunked(r, 0)
+	if err != nil {
+		return fmt.Errorf("dfs: checkpoint %s/%s: %w", plan, job, err)
+	}
+	key := checkpointKey(plan, job)
+	c.mu.Lock()
+	prev, had := c.entries[key]
+	c.entries[key] = checkpointEntry{cf: cf, mult: r.VolumeMultiplier}
+	c.mu.Unlock()
+	if had {
+		prev.cf.Release()
+	}
+	return nil
+}
+
+// LoadIntermediate rebuilds the checkpointed relation for (plan, job),
+// reporting ok=false when none was saved. The returned relation is a
+// fresh materialisation — callers own it outright.
+func (c *CheckpointStore) LoadIntermediate(plan, job string) (*relation.Relation, bool, error) {
+	c.mu.Lock()
+	e, ok := c.entries[checkpointKey(plan, job)]
+	c.mu.Unlock()
+	if !ok {
+		return nil, false, nil
+	}
+	r := e.cf.Shell(e.mult)
+	if n := e.cf.Rows(); n > 0 {
+		r.Tuples = make([]relation.Tuple, 0, n)
+	}
+	for i := 0; i < e.cf.NumChunks(); i++ {
+		ch, err := e.cf.OpenChunk(i)
+		if err != nil {
+			return nil, false, fmt.Errorf("dfs: checkpoint %s/%s: %w", plan, job, err)
+		}
+		for ri := 0; ri < ch.Rows(); ri++ {
+			r.Tuples = append(r.Tuples, ch.Row(ri))
+		}
+	}
+	return r, true, nil
+}
+
+// Len reports how many checkpoints are held.
+func (c *CheckpointStore) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Drop releases every checkpoint of the plan (called when a plan
+// completes and its intermediates are no longer needed for recovery).
+func (c *CheckpointStore) Drop(plan string) {
+	prefix := plan + "\x00"
+	c.mu.Lock()
+	var victims []*ChunkedFile
+	for k, e := range c.entries {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			victims = append(victims, e.cf)
+			delete(c.entries, k)
+		}
+	}
+	c.mu.Unlock()
+	for _, cf := range victims {
+		cf.Release()
+	}
+}

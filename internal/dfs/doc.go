@@ -63,6 +63,26 @@
 //   - WriteChunked's rowsPerChunk — the streaming granularity of
 //     inputs (and the unit of transient decode memory).
 //
+// # Integrity and read failover
+//
+// Every sealed page carries a CRC32 accumulated as the bytes are
+// written (sealing costs nothing extra) and verified on every page
+// fill — a read from disk, never a cache hit. A mismatch is counted
+// (IntegrityStats, the dfs/checksum_failures quarantine counter of an
+// attached obs registry) and the fill falls back to a replica re-read,
+// up to SetReplication total reads, before the read fails. The failover
+// contract mirrors the spill-frame checksums in internal/mr: transient
+// corruption costs a counter tick and a dfs/failover_reads re-read and
+// is otherwise invisible; only corruption of every replica surfaces an
+// error, and a caller running under mr's attempt machinery retries even
+// that with a fresh task attempt.
+//
+// CheckpointStore layers cascade recovery on the same substrate: a
+// plan executor saves each completed intermediate relation as
+// checksummed chunk-framed blocks and, on resume, reloads exactly the
+// jobs that finished instead of re-executing them (see internal/core's
+// PlanOptions.ResumeFrom).
+//
 // # Determinism
 //
 // Everything the package returns is a pure function of its inputs and

@@ -1,0 +1,144 @@
+package dfs
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/relation"
+)
+
+// sealedProbeFile writes a multi-page payload and returns the sealed
+// file plus its bytes.
+func sealedProbeFile(t *testing.T, store *BlockStore) ([]byte, *blockFile) {
+	t.Helper()
+	payload := make([]byte, 2*DefaultPageSize+333)
+	rng := rand.New(rand.NewSource(3))
+	for i := range payload {
+		payload[i] = byte(rng.Intn(256))
+	}
+	f, err := store.CreateSpillFile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	return payload, f.(*blockFile)
+}
+
+// TestPageChecksumFailover: a transient page corruption (one bad disk
+// read) is detected by the page CRC, absorbed by a replica re-read, and
+// counted in both the store stats and the attached obs registry.
+func TestPageChecksumFailover(t *testing.T) {
+	store, err := NewBlockStore("", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	o := &obs.Obs{Metrics: obs.NewRegistry()}
+	store.AttachObs(o)
+	payload, f := sealedProbeFile(t, store)
+
+	store.corruptFill = func(file int, page int64, attempt int, data []byte) {
+		if page == 1 && attempt == 1 {
+			data[17] ^= 0xFF
+		}
+	}
+	got := make([]byte, len(payload))
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatalf("read with transient corruption failed: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("failover returned wrong bytes")
+	}
+	cs, fo := store.IntegrityStats()
+	if cs != 1 || fo != 1 {
+		t.Errorf("IntegrityStats = (%d, %d), want (1, 1)", cs, fo)
+	}
+	if n := o.Counter("dfs/checksum_failures").Value(); n != 1 {
+		t.Errorf("obs checksum counter = %d", n)
+	}
+	if n := o.Counter("dfs/failover_reads").Value(); n != 1 {
+		t.Errorf("obs failover counter = %d", n)
+	}
+}
+
+// TestPageChecksumExhaustsReplicas: persistent corruption (every
+// replica read bad) must surface an error after DFSReplication reads,
+// never silently decode bad bytes.
+func TestPageChecksumExhaustsReplicas(t *testing.T) {
+	store, err := NewBlockStore("", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	store.SetReplication(3)
+	payload, f := sealedProbeFile(t, store)
+
+	store.corruptFill = func(file int, page int64, attempt int, data []byte) {
+		if page == 0 {
+			data[0] ^= 0xFF
+		}
+	}
+	_, err = f.ReadAt(make([]byte, len(payload)), 0)
+	if err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("persistent corruption not surfaced: %v", err)
+	}
+	cs, fo := store.IntegrityStats()
+	if cs != 3 || fo != 2 {
+		t.Errorf("IntegrityStats = (%d, %d), want (3, 2)", cs, fo)
+	}
+}
+
+// TestCheckpointStoreRoundTrip: a saved intermediate loads back
+// bit-identically (content hash, multiplier, dictionaries), missing
+// keys report ok=false, and Drop releases a plan's entries.
+func TestCheckpointStoreRoundTrip(t *testing.T) {
+	store, err := NewBlockStore("", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	cp := NewCheckpointStore(store)
+
+	r := chunkProbeRelation(500)
+	r.VolumeMultiplier = 2.5
+	if err := cp.SaveIntermediate("plan-a", "j1", r); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := cp.LoadIntermediate("plan-a", "j1")
+	if err != nil || !ok {
+		t.Fatalf("load: ok=%v err=%v", ok, err)
+	}
+	if relation.ContentHash(got) != relation.ContentHash(r) {
+		t.Fatal("restored relation differs")
+	}
+	if got.VolumeMultiplier != 2.5 || got.Name != r.Name {
+		t.Fatalf("metadata lost: mult=%v name=%q", got.VolumeMultiplier, got.Name)
+	}
+
+	if _, ok, err := cp.LoadIntermediate("plan-a", "nope"); ok || err != nil {
+		t.Fatalf("missing key: ok=%v err=%v", ok, err)
+	}
+	// Overwrite replaces (and releases) the previous checkpoint.
+	if err := cp.SaveIntermediate("plan-a", "j1", chunkProbeRelation(10)); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = cp.LoadIntermediate("plan-a", "j1")
+	if err != nil || got.Cardinality() != 10 {
+		t.Fatalf("overwrite: n=%d err=%v", got.Cardinality(), err)
+	}
+	cp.Drop("plan-a")
+	if cp.Len() != 0 {
+		t.Errorf("Drop left %d entries", cp.Len())
+	}
+	if _, ok, _ := cp.LoadIntermediate("plan-a", "j1"); ok {
+		t.Error("dropped checkpoint still loads")
+	}
+}

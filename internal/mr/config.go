@@ -1,19 +1,3 @@
-// Package mr is a deterministic MapReduce runtime-and-simulator.
-//
-// Jobs really execute: map functions run over real tuples, a hash
-// shuffle routes tagged (key,value) pairs to reduce partitions, and
-// reduce functions emit real output tuples. What is simulated is time:
-// a discrete-event clock advances by the same quantities the paper's
-// cost model (§4.1) reasons about — sequential scan of input blocks,
-// round-by-round map waves over a bounded slot pool, spill cost as a
-// function of map output volume, copy cost over the network with
-// per-connection overhead, and the straggler reduce task that
-// dominates J_R.
-//
-// The paper's experiments ran on a 13-node Hadoop 0.20.205 cluster
-// (104 cores, 10 GbE, measured 74.26 MB/s read and 14.69 MB/s write);
-// the default configuration mirrors Table 1 and those measurements so
-// simulated times land in the paper's range.
 package mr
 
 // Config carries the Hadoop-style parameters of Table 1 plus the
@@ -67,7 +51,38 @@ type Config struct {
 	// internal/dfs's BlockStore plugs in here to serve reads through
 	// its page cache. Implementations must be concurrency-safe.
 	Spill SpillStore
+
+	// MaxTaskAttempts bounds how many times one map or reduce task may
+	// run before its first error propagates (mapred.map.max.attempts).
+	// 0 means the default (4, Hadoop's); 1 disables both retries and
+	// speculative execution, restoring the single-attempt fast paths.
+	// Failed attempts charge the simulated clock — the slot is held for
+	// the extra runs plus a capped doubling backoff in cluster seconds.
+	MaxTaskAttempts int
+
+	// SpeculativeFactor is the straggler threshold: a running attempt
+	// that exceeds this multiple of the phase's median completed
+	// attempt duration gets one speculative backup, first finisher
+	// wins. 0 means the default (3); values below 1 are rejected — a
+	// sub-median "straggler" cutoff would back up the fast half of the
+	// phase. Speculation needs MaxTaskAttempts >= 2 and enough
+	// completed attempts to establish a median; it never changes
+	// results, only wall clock.
+	SpeculativeFactor float64
+
+	// Faults injects deterministic failures for testing and CI: seeded
+	// task kills, stragglers and spill corruption (see FaultPlan). nil
+	// (the default) injects nothing. Results are bit-identical under
+	// any plan whose faults are all retryable.
+	Faults *FaultPlan
 }
+
+// Defaults for the fault-tolerance knobs (applied when the field is
+// zero).
+const (
+	defaultTaskAttempts      = 4
+	defaultSpeculativeFactor = 3.0
+)
 
 // DefaultConfig returns the Table 1 "Set" column plus the paper's
 // cluster geometry: 13 nodes × 8 cores = 104 processing units, of
@@ -87,6 +102,9 @@ func DefaultConfig() Config {
 		NetworkMBps:      120, // 10 GbE switch, effective per-stream
 		TuplesPerMapTask: 2048,
 		OutputCapRatio:   2,
+
+		MaxTaskAttempts:   defaultTaskAttempts,
+		SpeculativeFactor: defaultSpeculativeFactor,
 	}
 }
 
@@ -120,6 +138,12 @@ func (c Config) Validate() error {
 		return errConfig("OutputCapRatio must be >= 0 (0 disables the cap)")
 	case c.SpillBudgetBytes < 0:
 		return errConfig("SpillBudgetBytes must be >= 0 (0 = in-memory shuffle)")
+	case c.MaxTaskAttempts < 0:
+		return errConfig("MaxTaskAttempts must be >= 0 (0 = default)")
+	case c.SpeculativeFactor != 0 && c.SpeculativeFactor < 1:
+		// A sub-1 threshold would call faster-than-median attempts
+		// stragglers; only an explicit 0 may ask for the default.
+		return errConfig("SpeculativeFactor must be 0 (default) or >= 1")
 	}
 	return nil
 }

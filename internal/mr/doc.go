@@ -1,0 +1,63 @@
+// Package mr is a deterministic MapReduce runtime-and-simulator.
+//
+// Jobs really execute: map functions run over real tuples, a hash
+// shuffle routes tagged (key,value) pairs to reduce partitions, and
+// reduce functions emit real output tuples. What is simulated is time:
+// a discrete-event clock advances by the same quantities the paper's
+// cost model (§4.1) reasons about — sequential scan of input blocks,
+// round-by-round map waves over a bounded slot pool, spill cost as a
+// function of map output volume, copy cost over the network with
+// per-connection overhead, and the straggler reduce task that
+// dominates J_R.
+//
+// The paper's experiments ran on a 13-node Hadoop 0.20.205 cluster
+// (104 cores, 10 GbE, measured 74.26 MB/s read and 14.69 MB/s write);
+// the default configuration mirrors Table 1 and those measurements so
+// simulated times land in the paper's range.
+//
+// # Task attempts and the idempotency contract
+//
+// MapReduce's defining runtime property — a job survives task failure
+// because tasks re-execute idempotently — is real here, not simulated.
+// Every map and reduce task runs as a sequence of ATTEMPTS, bounded by
+// Config.MaxTaskAttempts, and the engine relies on a strict
+// idempotency contract:
+//
+//   - Attempt isolation. An attempt derives its output only from
+//     attempt-scoped state it creates itself: its own per-reducer
+//     buckets and its own spill files (the attempt-scoped namespace in
+//     the SpillStore). Nothing an attempt produces is visible to the
+//     rest of the run until the attempt COMMITS.
+//   - Bit-identical re-execution. Map and reduce functions must be
+//     deterministic, so any attempt of a task commits byte-for-byte
+//     the output any other attempt would have committed. This is what
+//     lets speculative execution take "first to finish wins" without
+//     perturbing results.
+//   - Discard, never merge. A failed or losing attempt's partial
+//     state — spill runs included — is released without ever feeding
+//     the shuffle. Reducers only merge runs of committed map attempts.
+//
+// Retries are charged to the simulated clock (failures occupy their
+// slot for the extra attempts plus a capped doubling backoff), never
+// to results: the headline contract is that results are bit-identical
+// under any Config.Faults plan whose faults are all retryable, at any
+// worker count.
+//
+// Speculative execution backs up stragglers: when a running attempt
+// exceeds Config.SpeculativeFactor times the phase's median completed
+// attempt duration, one backup attempt launches, the first to finish
+// commits, and the loser is discarded atomically.
+//
+// # Spill integrity
+//
+// Spilled runs are written as checksummed frames (~32 KiB of pairs,
+// each with a CRC32 header; a pair never spans frames). Readers verify
+// every frame before decoding; a mismatch is counted
+// (Metrics.ChecksumFailures, the mr/checksum_failures quarantine
+// counter) and the frame is re-read — failover to a surviving replica,
+// priced by Config.DFSReplication — before the attempt fails with a
+// retryable error. A transient corruption therefore costs a counter
+// tick and a failover read; only persistent corruption of every
+// replica can surface an error, and even that error is retried with a
+// fresh attempt.
+package mr

@@ -64,6 +64,12 @@ type Metrics struct {
 	// was shuffled.
 	BalanceRatio float64
 
+	// MapFailures / ReduceFailures count failed task attempts charged
+	// to the simulated clock: the legacy per-job injected counts
+	// (Job.FailMapTasks) plus the kills a Config.Faults plan schedules
+	// within the attempt budget. Both are a pure function of the job
+	// and plan — deterministic — and each failure extends the makespan
+	// by a re-attempt plus capped backoff.
 	MapFailures    int
 	ReduceFailures int
 
@@ -87,6 +93,26 @@ type Metrics struct {
 	// compare it; the acceptance story — bounded budgets cut peak live
 	// bytes — is asserted against it.
 	PeakLiveBytes int64
+
+	// MapAttempts / ReduceAttempts count every task attempt actually
+	// launched — first attempts, retries and speculative backups.
+	// SpeculativeLaunched / SpeculativeWins count backup attempts and
+	// the backups that won their race. All four depend on real-time
+	// scheduling (whether a backup launches at all is a wall-clock
+	// race), so — like Wall — they are NOT deterministic and
+	// determinism comparisons must strip them.
+	MapAttempts         int
+	ReduceAttempts      int
+	SpeculativeLaunched int
+	SpeculativeWins     int
+
+	// ChecksumFailures counts spill-run frames that failed CRC
+	// verification; FailoverReads counts the replica re-reads that
+	// recovered them. An injected corruption is consumed exactly once
+	// no matter which reader hits it first, so both are deterministic
+	// for a fixed fault plan.
+	ChecksumFailures int64
+	FailoverReads    int64
 
 	Sim SimTime
 
@@ -129,9 +155,14 @@ type mapTask struct {
 // participates in this guarantee because routing is a pure function of
 // pair content.
 //
-// Cancelling ctx aborts the run between tasks; the first error raised
-// by any worker (or the context's error) is returned and stops the
-// remaining workers.
+// Every task runs as retryable attempts (Config.MaxTaskAttempts) with
+// speculative backups for stragglers; see the package documentation
+// for the attempt-idempotency contract. The determinism guarantee
+// extends to any Config.Faults plan whose faults are all retryable.
+//
+// Cancelling ctx aborts the run between tasks and mid-merge; the first
+// error raised by any worker (or the context's error) is returned and
+// stops the remaining workers.
 func Run(ctx context.Context, cfg Config, timer Timer, job *Job) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -286,117 +317,175 @@ func Run(ctx context.Context, cfg Config, timer Timer, job *Job) (*Result, error
 	// worker), so span recording takes no lock and cannot race.
 	mapShards := workerShards(o, job.Name+"/map", workers)
 	replicated := o.Counter("mr/replicated_pairs")
+	// Fault-tolerance runtime: the resolved fault injector, the attempt
+	// budget, and the straggler baseline. In inert mode (one attempt,
+	// nothing injected) the engine keeps its destructive single-reader
+	// fast paths; otherwise sources read non-destructively so a retried
+	// or speculative attempt can re-read its inputs.
+	ft := newFaultRuntime(cfg, job, len(tasks), nRed, o)
+	destructive := ft.inert()
 	mapStart := time.Now()
 	err := forEach(ctx, workers, len(tasks), func(w, ti int) error {
-		sh := mapShards.get(o, w)
 		task := &tasks[ti]
-		sp := sh.Start("map", obs.A("task", ti), obs.A("tuples", len(task.tuples)))
-		mapFn := job.Inputs[task.inputIdx].Map
-		var spiller *taskSpiller
-		var buckets [][]pair
-		if spillStore != nil {
-			spiller = newTaskSpiller(spillStore, nRed, cfg.SpillBudgetBytes)
-		} else {
-			buckets = make([][]pair, nRed)
-		}
-		var outBytes, realBytes int64
-		var replPairs int64
-		var emitErr error
-		var routeBuf []int
-		route := func(key uint64, tag uint8, value relation.Tuple) []int {
-			if job.Partitioner != nil {
-				return job.Partitioner.Route(routeBuf[:0], key, tag, value, nRed)
-			}
-			routeBuf = append(routeBuf[:0], partition(key, nRed))
-			return routeBuf
-		}
-		emit := func(key uint64, tag uint8, value relation.Tuple) {
-			routeBuf = route(key, tag, value)
-			if len(routeBuf) > 1 {
-				replPairs += int64(len(routeBuf) - 1)
-			}
-			for _, r := range routeBuf {
-				if r < 0 || r >= nRed {
-					if emitErr == nil {
-						emitErr = fmt.Errorf("mr: job %s: partition returned %d for %d reducers", job.Name, r, nRed)
-					}
-					return
+		// Injected faults fire at the halfway point of the task's
+		// input, so a killed attempt leaves real partial state
+		// (buffered pairs, partial spill runs) for discard to reclaim.
+		faultAt := -1
+		if ft.inj != nil {
+			total := len(task.tuples)
+			if task.stream != nil {
+				total = 0
+				for ci := task.chunkLo; ci < task.chunkHi; ci++ {
+					total += task.stream.ChunkRows(ci)
 				}
-				p := pair{key: key, tag: tag, tuple: value}
+			}
+			faultAt = total / 2
+		}
+		return ft.runTask(ctx, phaseMap, ti, mapShards.get(o, w), func(actx context.Context, attempt int, sh *obs.Shard) (attemptOutcome, error) {
+			sp := sh.Start("map", obs.A("task", ti), obs.A("attempt", attempt), obs.A("tuples", len(task.tuples)))
+			mapFn := job.Inputs[task.inputIdx].Map
+			// Attempt-scoped output: this attempt's own buckets or its
+			// own spill namespace. Nothing is shared until commit.
+			var spiller *taskSpiller
+			var buckets [][]pair
+			if spillStore != nil {
+				spiller = newTaskSpiller(spillStore, nRed, cfg.SpillBudgetBytes)
+			} else {
+				buckets = make([][]pair, nRed)
+			}
+			fail := func(err error) (attemptOutcome, error) {
 				if spiller != nil {
-					if err := spiller.add(r, p); err != nil && emitErr == nil {
-						emitErr = err
+					spiller.release() // discard partial runs, never merge them
+				}
+				sp.End(obs.A("error", err.Error()))
+				return attemptOutcome{}, err
+			}
+			var outBytes, realBytes int64
+			var replPairs int64
+			var emitErr error
+			var routeBuf []int
+			route := func(key uint64, tag uint8, value relation.Tuple) []int {
+				if job.Partitioner != nil {
+					return job.Partitioner.Route(routeBuf[:0], key, tag, value, nRed)
+				}
+				routeBuf = append(routeBuf[:0], partition(key, nRed))
+				return routeBuf
+			}
+			emit := func(key uint64, tag uint8, value relation.Tuple) {
+				routeBuf = route(key, tag, value)
+				if len(routeBuf) > 1 {
+					replPairs += int64(len(routeBuf) - 1)
+				}
+				for _, r := range routeBuf {
+					if r < 0 || r >= nRed {
+						if emitErr == nil {
+							emitErr = fmt.Errorf("mr: job %s: partition returned %d for %d reducers", job.Name, r, nRed)
+						}
 						return
 					}
-				} else {
-					buckets[r] = append(buckets[r], p)
-					realBytes += pairRealBytes(p)
+					p := pair{key: key, tag: tag, tuple: value}
+					if spiller != nil {
+						if err := spiller.add(r, p); err != nil && emitErr == nil {
+							emitErr = err
+							return
+						}
+					} else {
+						buckets[r] = append(buckets[r], p)
+						realBytes += pairRealBytes(p)
+					}
+					// 8 bytes of key framing per shuffled pair; a replicated
+					// pair is copied (and charged) once per destination.
+					outBytes += int64(float64(value.EncodedSize()+8) * task.multiplier)
 				}
-				// 8 bytes of key framing per shuffled pair; a replicated
-				// pair is copied (and charged) once per destination.
-				outBytes += int64(float64(value.EncodedSize()+8) * task.multiplier)
 			}
-		}
-		if task.stream != nil {
-			// Chunk-streamed input: decode one chunk at a time,
-			// releasing each before opening the next, so the task's
-			// input residency is a single chunk.
-			for ci := task.chunkLo; ci < task.chunkHi && emitErr == nil; ci++ {
-				c, err := task.stream.OpenChunk(ci)
-				if err != nil {
-					sp.End(obs.A("error", err.Error()))
-					return fmt.Errorf("mr: job %s: open chunk %d: %w", job.Name, ci, err)
+			processed := 0
+			if task.stream != nil {
+				// Chunk-streamed input: decode one chunk at a time,
+				// releasing each before opening the next, so the task's
+				// input residency is a single chunk.
+				for ci := task.chunkLo; ci < task.chunkHi && emitErr == nil; ci++ {
+					c, err := task.stream.OpenChunk(ci)
+					if err != nil {
+						return fail(fmt.Errorf("mr: job %s: open chunk %d: %w", job.Name, ci, err))
+					}
+					for ri := 0; ri < c.Rows(); ri++ {
+						if processed == faultAt {
+							if err := ft.maybeFault(actx, phaseMap, ti, attempt); err != nil {
+								return fail(err)
+							}
+						}
+						processed++
+						mapFn(c.Row(ri), emit)
+						if emitErr != nil {
+							break
+						}
+					}
 				}
-				for ri := 0; ri < c.Rows(); ri++ {
-					mapFn(c.Row(ri), emit)
+			} else {
+				for _, t := range task.tuples {
+					if processed == faultAt {
+						if err := ft.maybeFault(actx, phaseMap, ti, attempt); err != nil {
+							return fail(err)
+						}
+					}
+					processed++
+					mapFn(t, emit)
 					if emitErr != nil {
 						break
 					}
 				}
 			}
-		} else {
-			for _, t := range task.tuples {
-				mapFn(t, emit)
-				if emitErr != nil {
-					break
+			if processed == faultAt { // empty split: fire at the end
+				if err := ft.maybeFault(actx, phaseMap, ti, attempt); err != nil {
+					return fail(err)
 				}
 			}
-		}
-		if emitErr != nil {
-			sp.End(obs.A("error", emitErr.Error()))
-			return emitErr
-		}
-		if spiller != nil {
-			// Final flush: the whole map output is on the store; the
-			// task retains no pairs.
-			sortSp := sh.Start("spill", obs.A("task", ti))
-			if err := spiller.finish(); err != nil {
-				sortSp.End(obs.A("error", err.Error()))
-				return err
+			if emitErr != nil {
+				return fail(emitErr)
 			}
-			sortSp.End(obs.A("runs", len(spiller.flushes)), obs.A("spilledBytes", spiller.spilled))
-			taskSpills[ti] = spiller
-			taskRealPeak[ti] = spiller.peak
-		} else {
-			// Map-side sort: order each spill bucket by key before it is
-			// handed to the shuffle, so reducers merge pre-sorted runs
-			// instead of re-sorting their whole input. The sort is stable
-			// (emission order within a key is preserved) and skipped when
-			// the bucket is already ordered — the common case for jobs
-			// whose keys are reducer ordinals (identity partition).
-			sortSp := sh.Start("spill-sort", obs.A("task", ti))
-			for r := range buckets {
-				sortBucket(buckets[r])
+			if spiller != nil {
+				// Final flush: the whole map output is on the store; the
+				// task retains no pairs.
+				sortSp := sh.Start("spill", obs.A("task", ti))
+				if err := spiller.finish(); err != nil {
+					sortSp.End(obs.A("error", err.Error()))
+					return fail(err)
+				}
+				sortSp.End(obs.A("runs", len(spiller.flushes)), obs.A("spilledBytes", spiller.spilled))
+			} else {
+				// Map-side sort: order each spill bucket by key before it is
+				// handed to the shuffle, so reducers merge pre-sorted runs
+				// instead of re-sorting their whole input. The sort is stable
+				// (emission order within a key is preserved) and skipped when
+				// the bucket is already ordered — the common case for jobs
+				// whose keys are reducer ordinals (identity partition).
+				sortSp := sh.Start("spill-sort", obs.A("task", ti))
+				for r := range buckets {
+					sortBucket(buckets[r])
+				}
+				sortSp.End()
 			}
-			sortSp.End()
-			taskBuckets[ti] = buckets
-			taskRealFinal[ti] = realBytes
-			taskRealPeak[ti] = realBytes
-		}
-		taskOutBytes[ti] = outBytes
-		replicated.Add(replPairs)
-		sp.End(obs.A("outBytes", outBytes))
-		return nil
+			sp.End(obs.A("outBytes", outBytes))
+			return attemptOutcome{
+				commit: func() {
+					if spiller != nil {
+						taskSpills[ti] = spiller
+						taskRealPeak[ti] = spiller.peak
+					} else {
+						taskBuckets[ti] = buckets
+						taskRealFinal[ti] = realBytes
+						taskRealPeak[ti] = realBytes
+					}
+					taskOutBytes[ti] = outBytes
+					replicated.Add(replPairs)
+				},
+				discard: func() {
+					if spiller != nil {
+						spiller.release()
+					}
+				},
+			}, nil
+		})
 	})
 	if err != nil {
 		return nil, err
@@ -424,84 +513,124 @@ func Run(ctx context.Context, cfg Config, timer Timer, job *Job) (*Result, error
 	reduceShards := workerShards(o, job.Name+"/reduce", workers)
 	keyRunHist := o.Histogram("mr/key_run_len")
 	err = forEach(ctx, workers, nRed, func(w, r int) error {
-		sh := reduceShards.get(o, w)
-		gatherSp := sh.Start("shuffle-copy", obs.A("reducer", r))
-		var n int
-		var memReal int64
-		srcs := make([]*pairSource, 0, len(tasks))
-		for ti := range tasks {
-			mult := tasks[ti].multiplier
-			if ts := taskSpills[ti]; ts != nil {
-				for _, fl := range ts.flushes {
-					if seg := fl.segs[r]; seg.count > 0 {
-						srcs = append(srcs, diskSource(fl.file, seg, mult))
-						n += seg.count
+		err := ft.runTask(ctx, phaseReduce, r, reduceShards.get(o, w), func(actx context.Context, attempt int, sh *obs.Shard) (attemptOutcome, error) {
+			gatherSp := sh.Start("shuffle-copy", obs.A("reducer", r), obs.A("attempt", attempt))
+			var n int
+			var memReal int64
+			srcs := make([]*pairSource, 0, len(tasks))
+			for ti := range tasks {
+				mult := tasks[ti].multiplier
+				if ts := taskSpills[ti]; ts != nil {
+					for _, fl := range ts.flushes {
+						if seg := fl.segs[r]; seg.count > 0 {
+							srcs = append(srcs, diskSource(fl.file, seg, mult, ft, ti))
+							n += seg.count
+						}
+					}
+				}
+				if taskBuckets[ti] == nil {
+					continue
+				}
+				if b := taskBuckets[ti][r]; len(b) > 0 {
+					for _, p := range b {
+						memReal += pairRealBytes(p)
+					}
+					src := memSource(b, mult)
+					// A retried or speculative attempt re-reads the same
+					// buckets, so destructive drain is only safe in inert
+					// mode; otherwise the bucket is released after the
+					// task commits (below, all attempts joined).
+					src.destructive = destructive
+					srcs = append(srcs, src)
+					n += len(b)
+					if destructive {
+						taskBuckets[ti][r] = nil // release as we go
 					}
 				}
 			}
-			if taskBuckets[ti] == nil {
-				continue
+			gatherSp.End(obs.A("pairs", n), obs.A("runs", len(srcs)))
+			// Fault point: after the gather (partial state exists to
+			// discard), before the empty-reducer return — kills target
+			// empty reducers too.
+			if err := ft.maybeFault(actx, phaseReduce, r, attempt); err != nil {
+				return attemptOutcome{}, err
 			}
-			if b := taskBuckets[ti][r]; len(b) > 0 {
-				for _, p := range b {
-					memReal += pairRealBytes(p)
+			if n == 0 {
+				return attemptOutcome{}, nil
+			}
+			reduceSp := sh.Start("reduce", obs.A("reducer", r), obs.A("pairs", n), obs.A("runs", len(srcs)))
+			rctx := &ReduceContext{}
+			runs := 0
+			var bytes int64
+			var curKey uint64
+			var run []Tagged
+			var runReal, maxRunReal int64
+			flushRun := func() {
+				if len(run) == 0 {
+					return
 				}
-				srcs = append(srcs, memSource(b, mult))
-				n += len(b)
-				taskBuckets[ti][r] = nil // release as we go
+				keyRunHist.Observe(int64(len(run)))
+				runs++
+				// Capacity-capped view: an accidental append inside Reduce
+				// allocates instead of clobbering the reused buffer.
+				job.Reduce(curKey, run[:len(run):len(run)], rctx)
+				run = run[:0]
+				runReal = 0
 			}
-		}
-		reducerPairs[r] = int64(n)
-		gatherSp.End(obs.A("pairs", n), obs.A("runs", len(srcs)))
-		if n == 0 {
-			return nil
-		}
-		reduceSp := sh.Start("reduce", obs.A("reducer", r), obs.A("pairs", n), obs.A("runs", len(srcs)))
-		rctx := &ReduceContext{}
-		runs := 0
-		var bytes int64
-		var curKey uint64
-		var run []Tagged
-		var runReal, maxRunReal int64
-		flushRun := func() {
-			if len(run) == 0 {
-				return
+			var merged int
+			mergeErr := mergeSources(srcs, func(p pair, s *pairSource) error {
+				// Cancellation check mid-merge: a cancelled run must not
+				// finish a large merge before noticing.
+				if merged++; merged&1023 == 0 {
+					if err := actx.Err(); err != nil {
+						return err
+					}
+				}
+				// Per-pair modeled bytes convert to int64 individually, so
+				// the integer sum is independent of merge order and matches
+				// the in-memory gather accounting bit for bit.
+				bytes += int64(float64(p.tuple.EncodedSize()+8) * s.mult)
+				if len(run) > 0 && p.key != curKey {
+					flushRun()
+				}
+				curKey = p.key
+				run = append(run, Tagged{Tag: p.tag, Tuple: p.tuple})
+				runReal += pairRealBytes(p)
+				if runReal > maxRunReal {
+					maxRunReal = runReal
+				}
+				return nil
+			})
+			if mergeErr != nil {
+				reduceSp.End(obs.A("error", mergeErr.Error()))
+				return attemptOutcome{}, mergeErr
 			}
-			keyRunHist.Observe(int64(len(run)))
-			runs++
-			// Capacity-capped view: an accidental append inside Reduce
-			// allocates instead of clobbering the reused buffer.
-			job.Reduce(curKey, run[:len(run):len(run)], rctx)
-			run = run[:0]
-			runReal = 0
-		}
-		mergeErr := mergeSources(srcs, func(p pair, s *pairSource) error {
-			// Per-pair modeled bytes convert to int64 individually, so
-			// the integer sum is independent of merge order and matches
-			// the in-memory gather accounting bit for bit.
-			bytes += int64(float64(p.tuple.EncodedSize()+8) * s.mult)
-			if len(run) > 0 && p.key != curKey {
-				flushRun()
-			}
-			curKey = p.key
-			run = append(run, Tagged{Tag: p.tag, Tuple: p.tuple})
-			runReal += pairRealBytes(p)
-			if runReal > maxRunReal {
-				maxRunReal = runReal
-			}
-			return nil
+			flushRun()
+			reduceSp.End(obs.A("keys", runs),
+				obs.A("combinations", rctx.combinations), obs.A("outTuples", len(rctx.out)))
+			return attemptOutcome{
+				commit: func() {
+					reducerPairs[r] = int64(n)
+					reducerBytes[r] = bytes
+					reducerResident[r] = memReal + maxRunReal
+					outs[r] = rctx.out
+					combs[r] = rctx.combinations
+				},
+			}, nil
 		})
-		if mergeErr != nil {
-			reduceSp.End(obs.A("error", mergeErr.Error()))
-			return mergeErr
+		if err != nil {
+			return err
 		}
-		flushRun()
-		reducerBytes[r] = bytes
-		reducerResident[r] = memReal + maxRunReal
-		outs[r] = rctx.out
-		combs[r] = rctx.combinations
-		reduceSp.End(obs.A("keys", runs),
-			obs.A("combinations", rctx.combinations), obs.A("outTuples", len(rctx.out)))
+		// Non-destructive mode: the reducer's share of every bucket is
+		// only released once runTask has joined all attempts — no late
+		// speculative loser can still be reading it.
+		if !destructive {
+			for ti := range taskBuckets {
+				if tb := taskBuckets[ti]; tb != nil {
+					tb[r] = nil
+				}
+			}
+		}
 		return nil
 	})
 	if err != nil {
@@ -612,7 +741,17 @@ func Run(ctx context.Context, cfg Config, timer Timer, job *Job) (*Result, error
 		copyDur[ti] = timer.CopyTime(taskOutBytes[ti], nRed)
 		if f, ok := job.FailMapTasks[ti]; ok && f > 0 {
 			mapFail[ti] = f
+		}
+		// Injected kills charge the clock from the PLAN, not from
+		// observed attempts: speculation makes the observed count
+		// nondeterministic (a backup may land before a targeted attempt
+		// ever runs), while the planned count is a pure function of the
+		// fault plan. Retry backoff is folded into the per-attempt
+		// duration so slot time = dur*(fails+1) + total backoff.
+		mapFail[ti] += ft.inj.plannedKills(phaseMap, ti, ft.maxAttempts)
+		if f := mapFail[ti]; f > 0 {
 			totalMapFailures += f
+			mapDur[ti] += backoffSeconds(f) / float64(f+1)
 		}
 	}
 	reduceDur := make([]float64, nRed)
@@ -622,7 +761,11 @@ func Run(ctx context.Context, cfg Config, timer Timer, job *Job) (*Result, error
 		reduceDur[r] = timer.ReduceTime(reducerBytes[r], reducerOutBytes[r])
 		if f, ok := job.FailReduceTasks[r]; ok && f > 0 {
 			reduceFail[r] = f
+		}
+		reduceFail[r] += ft.inj.plannedKills(phaseReduce, r, ft.maxAttempts)
+		if f := reduceFail[r]; f > 0 {
 			totalReduceFailures += f
+			reduceDur[r] += backoffSeconds(f) / float64(f+1)
 		}
 	}
 	sim := simulate(cfg.MapSlots, cfg.ReduceSlots, mapDur, copyDur, mapFail, reduceDur, reduceFail)
@@ -656,10 +799,13 @@ func Run(ctx context.Context, cfg Config, timer Timer, job *Job) (*Result, error
 	if h := o.Histogram("mr/peak_live_bytes"); h != nil {
 		h.Observe(peakLiveBytes)
 	}
+	if n := totalMapFailures + totalReduceFailures; n > 0 {
+		o.Counter("mr/task_retries").Add(int64(n))
+	}
 	jobSpan.End(obs.A("shuffleBytes", shuffleBytes),
 		obs.A("outTuples", totalOut), obs.A("balance", balance))
 
-	return &Result{
+	res := &Result{
 		Output: output,
 		Metrics: Metrics{
 			MapTasks:            len(tasks),
@@ -686,7 +832,9 @@ func Run(ctx context.Context, cfg Config, timer Timer, job *Job) (*Result, error
 				Total:    time.Since(wallStart),
 			},
 		},
-	}, nil
+	}
+	ft.metricsInto(&res.Metrics)
+	return res, nil
 }
 
 // sortBucket stable-sorts one spill bucket by key, preserving emission

@@ -2,11 +2,14 @@ package mr
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/relation"
 )
@@ -52,10 +55,18 @@ type SpillStore interface {
 // TempSpillStore is the engine's fallback SpillStore: one plain file
 // per spill in a private temp directory, removed on Close.
 type TempSpillStore struct {
-	dir string
-	mu  sync.Mutex
-	n   int
+	dir  string
+	mu   sync.Mutex
+	n    int
+	live atomic.Int64
 }
+
+// Live reports the spill files created but not yet released — 0 after
+// a Run returns, success or not: the engine discards failed attempts'
+// runs immediately and releases committed runs before returning, so a
+// nonzero count after Run is a leak. Cancellation-hygiene tests assert
+// on it.
+func (s *TempSpillStore) Live() int { return int(s.live.Load()) }
 
 // NewTempSpillStore creates a temp-file spill store rooted in dir (""
 // = the system temp directory).
@@ -77,15 +88,17 @@ func (s *TempSpillStore) CreateSpillFile() (SpillFile, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mr: spill store: %w", err)
 	}
-	return &tempSpillFile{f: f, bw: bufio.NewWriter(f)}, nil
+	s.live.Add(1)
+	return &tempSpillFile{f: f, bw: bufio.NewWriter(f), store: s}, nil
 }
 
 // Close removes the store's directory and every remaining file.
 func (s *TempSpillStore) Close() error { return os.RemoveAll(s.dir) }
 
 type tempSpillFile struct {
-	f  *os.File
-	bw *bufio.Writer
+	f     *os.File
+	bw    *bufio.Writer
+	store *TempSpillStore
 }
 
 func (t *tempSpillFile) Write(p []byte) (int, error) { return t.bw.Write(p) }
@@ -95,6 +108,10 @@ func (t *tempSpillFile) Seal() error { return t.bw.Flush() }
 func (t *tempSpillFile) ReadAt(p []byte, off int64) (int, error) { return t.f.ReadAt(p, off) }
 
 func (t *tempSpillFile) Release() error {
+	if t.store != nil {
+		t.store.live.Add(-1)
+		t.store = nil
+	}
 	name := t.f.Name()
 	if err := t.f.Close(); err != nil {
 		os.Remove(name)
@@ -137,6 +154,73 @@ func readPair(br *bufio.Reader) (pair, error) {
 // quantity the modeled byte accounting multiplies, so budget and
 // metrics speak one unit.
 func pairRealBytes(p pair) int64 { return int64(p.tuple.EncodedSize() + 8) }
+
+// ---- Checksummed frames -----------------------------------------------
+
+// Spilled segments are written as a sequence of frames: a u32 payload
+// length and u32 CRC32 (IEEE) header followed by ~spillFrameSize bytes
+// of encoded pairs; a pair never spans frames. Readers verify every
+// frame before decoding a byte of it, fail over to replica re-reads on
+// mismatch, and only surface a (retryable) error when every replica
+// disagrees with the checksum — the integrity half of the
+// fault-tolerance contract. Frame boundaries are a pure function of
+// the pair sequence, so the segment bytes — and SpillBytes — stay
+// deterministic.
+
+const (
+	spillFrameSize   = 32 << 10
+	spillFrameHeader = 8
+)
+
+// frameWriter buffers pairs into frames and emits each with its
+// length+CRC header to dst.
+type frameWriter struct {
+	dst    io.Writer
+	buf    bytes.Buffer
+	bw     *bufio.Writer
+	frames int
+}
+
+func newFrameWriter(dst io.Writer) *frameWriter {
+	fw := &frameWriter{dst: dst}
+	fw.bw = bufio.NewWriter(&fw.buf)
+	return fw
+}
+
+func (fw *frameWriter) writePair(p pair) error {
+	if err := writePair(fw.bw, p); err != nil {
+		return err
+	}
+	if err := fw.bw.Flush(); err != nil {
+		return err
+	}
+	if fw.buf.Len() >= spillFrameSize {
+		return fw.emit()
+	}
+	return nil
+}
+
+func (fw *frameWriter) emit() error {
+	if fw.buf.Len() == 0 {
+		return nil
+	}
+	payload := fw.buf.Bytes()
+	var hdr [spillFrameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	if _, err := fw.dst.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := fw.dst.Write(payload); err != nil {
+		return err
+	}
+	fw.frames++
+	fw.buf.Reset()
+	return nil
+}
+
+// finish emits the final partial frame.
+func (fw *frameWriter) finish() error { return fw.emit() }
 
 // ---- Map-side spiller -------------------------------------------------
 
@@ -201,23 +285,20 @@ func (ts *taskSpiller) flush() error {
 		return err
 	}
 	cw := &countingWriter{w: f}
-	bw := bufio.NewWriter(cw)
+	fw := newFrameWriter(cw)
 	segs := make([]spillSegment, len(ts.buckets))
 	for r, b := range ts.buckets {
 		if len(b) == 0 {
 			continue
 		}
 		sortBucket(b)
-		if err := bw.Flush(); err != nil {
-			return err
-		}
 		seg := spillSegment{off: cw.n, count: len(b), firstKey: b[0].key, lastKey: b[len(b)-1].key}
 		for _, p := range b {
-			if err := writePair(bw, p); err != nil {
+			if err := fw.writePair(p); err != nil {
 				return err
 			}
 		}
-		if err := bw.Flush(); err != nil {
+		if err := fw.finish(); err != nil {
 			return err
 		}
 		seg.n = cw.n - seg.off
@@ -262,6 +343,11 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 // in-memory bucket or a spilled segment. Sources expose their key
 // bounds so the merge can take the sequential fast path when the
 // task-order concatenation is already globally sorted.
+//
+// A destructive source releases consumed state as it drains (the
+// single-reader fast path); a non-destructive one leaves the shared
+// bucket untouched so a retried or speculative reduce attempt can
+// re-read it — the engine picks per run.
 type pairSource struct {
 	// Exactly one of bucket/seg is set.
 	bucket []pair
@@ -269,17 +355,28 @@ type pairSource struct {
 	seg    spillSegment
 	mult   float64 // producing task's volume multiplier
 
+	destructive bool
+
+	// Integrity context for disk sources: ft carries the quarantine
+	// counters and the replica budget, task addresses the producing
+	// map task for fault targeting.
+	ft   *faultRuntime
+	task int
+
 	// cursor state
-	pos int
-	br  *bufio.Reader
+	pos     int
+	frOff   int64 // next unread file offset (frame-aligned)
+	payload []byte
+	rd      *bytes.Reader
+	br      *bufio.Reader
 }
 
 func memSource(bucket []pair, mult float64) *pairSource {
-	return &pairSource{bucket: bucket, mult: mult}
+	return &pairSource{bucket: bucket, mult: mult, destructive: true}
 }
 
-func diskSource(file SpillFile, seg spillSegment, mult float64) *pairSource {
-	return &pairSource{file: file, seg: seg, mult: mult}
+func diskSource(file SpillFile, seg spillSegment, mult float64, ft *faultRuntime, task int) *pairSource {
+	return &pairSource{file: file, seg: seg, mult: mult, ft: ft, task: task}
 }
 
 func (s *pairSource) count() int {
@@ -303,23 +400,30 @@ func (s *pairSource) lastKey() uint64 {
 	return s.seg.lastKey
 }
 
-// next returns the run's next pair. Drained in-memory sources release
-// their bucket's backing array immediately (not at the end of the
-// whole merge) so GC can reclaim buckets while later sources are still
-// merging.
+// next returns the run's next pair. Destructive drained in-memory
+// sources release their bucket's backing array immediately (not at the
+// end of the whole merge) so GC can reclaim buckets while later
+// sources are still merging; disk sources decode from checksum-
+// verified frames loaded one at a time.
 func (s *pairSource) next() (pair, error) {
 	if s.bucket != nil {
 		p := s.bucket[s.pos]
-		s.bucket[s.pos] = pair{} // drop the tuple ref as consumed
+		if s.destructive {
+			s.bucket[s.pos] = pair{} // drop the tuple ref as consumed
+		}
 		s.pos++
 		if s.pos == len(s.bucket) {
-			s.bucket = nil // release as the cursor drains
+			if s.destructive {
+				s.bucket = nil // release as the cursor drains
+			}
 			s.pos = -1
 		}
 		return p, nil
 	}
-	if s.br == nil {
-		s.br = bufio.NewReaderSize(io.NewSectionReader(s.file, s.seg.off, s.seg.n), 32<<10)
+	if s.br == nil || (s.br.Buffered() == 0 && s.rd.Len() == 0) {
+		if err := s.loadFrame(); err != nil {
+			return pair{}, fmt.Errorf("mr: read spilled pair: %w", err)
+		}
 	}
 	p, err := readPair(s.br)
 	if err != nil {
@@ -327,10 +431,67 @@ func (s *pairSource) next() (pair, error) {
 	}
 	s.pos++
 	if s.pos == s.seg.count {
-		s.br = nil // release the read buffer
+		s.br, s.rd, s.payload = nil, nil, nil // release the read buffers
 		s.pos = -1
 	}
 	return p, nil
+}
+
+// loadFrame reads and verifies the segment's next frame. A checksum
+// mismatch (real corruption or an injected one) is counted and the
+// frame re-read up to the replica budget; only when every replica
+// fails verification does the frame surface a retryable error that
+// fails — and re-runs — the whole reduce attempt.
+func (s *pairSource) loadFrame() error {
+	if s.frOff == 0 {
+		s.frOff = s.seg.off
+	}
+	end := s.seg.off + s.seg.n
+	var hdr [spillFrameHeader]byte
+	if s.frOff+spillFrameHeader > end {
+		return fmt.Errorf("spill segment truncated at offset %d", s.frOff)
+	}
+	if _, err := s.file.ReadAt(hdr[:], s.frOff); err != nil {
+		return err
+	}
+	n := int64(binary.LittleEndian.Uint32(hdr[:4]))
+	want := binary.LittleEndian.Uint32(hdr[4:])
+	if n <= 0 || s.frOff+spillFrameHeader+n > end {
+		return retryable(fmt.Errorf("spill frame header corrupt at offset %d (len %d)", s.frOff, n))
+	}
+	if int64(cap(s.payload)) < n {
+		s.payload = make([]byte, n)
+	}
+	s.payload = s.payload[:n]
+	if _, err := s.file.ReadAt(s.payload, s.frOff+spillFrameHeader); err != nil {
+		return err
+	}
+	if s.ft != nil && s.ft.inj.corruptSpill(s.task) {
+		s.payload[0] ^= 0xFF // injected bit rot, caught below
+	}
+	maxReads := 1
+	if s.ft != nil {
+		maxReads = s.ft.replicas
+	}
+	for tries := 1; crc32.ChecksumIEEE(s.payload) != want; tries++ {
+		s.ft.checksumFailure()
+		if tries >= maxReads {
+			return retryable(fmt.Errorf("spill frame checksum mismatch at offset %d after %d replica reads", s.frOff, tries))
+		}
+		if _, err := s.file.ReadAt(s.payload, s.frOff+spillFrameHeader); err != nil {
+			return err
+		}
+		s.ft.failoverRead()
+	}
+	s.frOff += spillFrameHeader + n
+	if s.rd == nil {
+		s.rd = bytes.NewReader(s.payload)
+		s.br = bufio.NewReaderSize(s.rd, 4096)
+	} else {
+		s.rd.Reset(s.payload)
+		s.br.Reset(s.rd)
+	}
+	return nil
 }
 
 func (s *pairSource) drained() bool { return s.pos == -1 || s.count() == 0 }

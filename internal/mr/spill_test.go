@@ -8,17 +8,23 @@ import (
 	"repro/internal/relation"
 )
 
-// zeroWallM strips the measured wall-clock fields, which legitimately
-// vary between runs; every other metric must be bit-identical.
+// zeroWallM strips the measured wall-clock fields and the wall-clock-
+// dependent attempt counters (retry and speculation scheduling follow
+// real time), which legitimately vary between runs; every other metric
+// must be bit-identical.
 func zeroWallM(m Metrics) Metrics {
 	m.Wall = WallTime{}
+	m.MapAttempts = 0
+	m.ReduceAttempts = 0
+	m.SpeculativeLaunched = 0
+	m.SpeculativeWins = 0
 	return m
 }
 
 // spillProbeRelation builds an interned-string relation whose shuffle
 // pairs exercise the raw pair codec end to end: dictionary code slots,
 // plain strings, NULLs and numeric payloads.
-func spillProbeRelation(t *testing.T, rows int) *relation.Relation {
+func spillProbeRelation(t testing.TB, rows int) *relation.Relation {
 	t.Helper()
 	r := relation.New("probe", relation.MustSchema(
 		relation.Column{Name: "k", Kind: relation.KindInt},

@@ -1,0 +1,105 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/mr"
+)
+
+// postQuery drives the HTTP handler with one request body and returns
+// the recorded response.
+func postQuery(t *testing.T, h http.Handler, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestRetryExhaustedMapsTo503: a query whose task retries are
+// exhausted is degraded service (503 + Retry-After and the
+// retry_exhausted counter), not a client error — and a fault-free
+// resubmission of the same query succeeds.
+func TestRetryExhaustedMapsTo503(t *testing.T) {
+	db := testDB(t)
+	cfg := testMRConfig()
+	cfg.MaxTaskAttempts = 2
+	cfg.Faults = &mr.FaultPlan{Faults: []mr.Fault{
+		{Kind: mr.FaultKillMap, Task: 0, Attempt: -1}, // every attempt: exhausts the budget
+	}}
+	s := newTestService(t, db, Config{MR: cfg})
+	h := s.Handler()
+
+	rec := postQuery(t, h, `{"spec": "FROM A, B WHERE A.a < B.a"}`)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503; body %q", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("503 for retry exhaustion must carry Retry-After")
+	}
+	if n := s.Obs().Counter("server.exec.retry_exhausted").Value(); n != 1 {
+		t.Errorf("retry_exhausted counter = %d", n)
+	}
+
+	// The same service without faults keeps serving.
+	s2 := newTestService(t, db, Config{})
+	rec = postQuery(t, s2.Handler(), `{"spec": "FROM A, B WHERE A.a < B.a"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("fault-free resubmission: status %d, body %q", rec.Code, rec.Body.String())
+	}
+	var resp Response
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ResultHash == "" {
+		t.Error("response missing result hash")
+	}
+}
+
+// TestQueryTimeoutMapsTo503: Config.QueryTimeout cancels an admitted
+// execution at its deadline; the submission fails with
+// context.DeadlineExceeded (503 + Retry-After over HTTP) and the
+// service keeps serving subsequent queries.
+func TestQueryTimeoutMapsTo503(t *testing.T) {
+	db := testDB(t)
+	cfg := testMRConfig()
+	// A straggler far beyond the deadline on every map attempt keeps
+	// the execution alive until the deadline fires.
+	cfg.Faults = &mr.FaultPlan{Faults: []mr.Fault{
+		{Kind: mr.FaultDelayMap, Task: -1, Attempt: -1, Delay: 30 * time.Second},
+	}}
+	s := newTestService(t, db, Config{MR: cfg, QueryTimeout: 50 * time.Millisecond})
+
+	start := time.Now()
+	_, err := s.Submit(context.Background(), Request{Spec: testSpec})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Submit error = %v, want DeadlineExceeded", err)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Errorf("deadline did not cancel promptly: took %v", took)
+	}
+	if n := s.Obs().Counter("server.exec.deadline").Value(); n != 1 {
+		t.Errorf("deadline counter = %d", n)
+	}
+
+	rec := postQuery(t, s.Handler(), `{"spec": "FROM A, B WHERE A.a < B.a"}`)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("HTTP status = %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("503 for deadline expiry must carry Retry-After")
+	}
+
+	// Degradation is per query: a fault-free service still serves.
+	s2 := newTestService(t, db, Config{QueryTimeout: 10 * time.Second})
+	if _, err := s2.Submit(context.Background(), Request{Spec: testSpec}); err != nil {
+		t.Fatalf("healthy query after timeouts: %v", err)
+	}
+}

@@ -1,12 +1,14 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 
 	"repro/internal/core"
+	"repro/internal/mr"
 	"repro/internal/relation"
 )
 
@@ -23,9 +25,18 @@ func ResultHash(res *core.ExecResult) string {
 //	GET  /healthz  liveness (200 "ok")
 //	GET  /metrics  the obs metrics registry as JSON
 //
-// Admission rejections map to 429 (queue full — retryable with
-// backoff) and 503 (queue timeout or shutdown); malformed or failing
-// queries to 400.
+// The error contract separates the caller's fault from the service's
+// state:
+//
+//	429 + Retry-After  queue full — the client sent too much; back off
+//	                   and retry unchanged.
+//	503 + Retry-After  transient service degradation worth retrying:
+//	                   admission-queue timeout, a query whose task
+//	                   retries were exhausted (mr.TaskError), or a
+//	                   query past Config.QueryTimeout.
+//	503 (no header)    shutting down — retry against another instance.
+//	400                malformed request or a query error retries
+//	                   cannot fix.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
@@ -50,11 +61,23 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := s.Submit(r.Context(), req)
 	if err != nil {
+		var te *mr.TaskError
 		switch {
 		case errors.Is(err, ErrQueueFull):
 			w.Header().Set("Retry-After", "1")
 			http.Error(w, err.Error(), http.StatusTooManyRequests)
-		case errors.Is(err, ErrTimedOut), errors.Is(err, ErrClosed):
+		case errors.Is(err, ErrTimedOut):
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		case errors.As(err, &te), errors.Is(err, context.DeadlineExceeded):
+			// Degraded service, not a bad query: a task exhausted its
+			// attempt budget, or the per-query deadline expired. The
+			// same request may well succeed once the pressure passes.
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		case errors.Is(err, ErrClosed):
+			// Shutdown: no Retry-After — THIS instance won't recover;
+			// clients should fail over, not wait.
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		default:
 			http.Error(w, err.Error(), http.StatusBadRequest)

@@ -39,6 +39,13 @@ type Config struct {
 	// QueueTimeout bounds how long a queued query waits before
 	// rejection with ErrTimedOut. Default 10s.
 	QueueTimeout time.Duration
+	// QueryTimeout bounds one admitted query's EXECUTION (planning and
+	// queueing excluded): past the deadline the plan's context cancels,
+	// every in-flight job aborts promptly (between tasks and mid-merge)
+	// and the submission fails with context.DeadlineExceeded — graceful
+	// degradation, mapped to 503 + Retry-After by the HTTP layer.
+	// 0 (the default) means no per-query deadline.
+	QueryTimeout time.Duration
 	// MinBudget floors the per-query unit budget the arbiter assigns
 	// under load. Default 1.
 	MinBudget int
@@ -350,9 +357,25 @@ func (s *Service) Submit(ctx context.Context, req Request) (*Response, error) {
 	pl.Pool = core.WithBudget(s.pool, budget)
 	shard.Instant("execute", obs.A("budget", budget), obs.A("cacheHit", resp.CacheHit))
 	execStart := time.Now()
-	res, err := pl.ExecuteContext(obs.NewContext(ctx, s.o), plan, execDB)
+	execCtx := obs.NewContext(ctx, s.o)
+	if s.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		execCtx, cancel = context.WithTimeout(execCtx, s.cfg.QueryTimeout)
+		defer cancel()
+	}
+	res, err := pl.ExecuteContext(execCtx, plan, execDB)
 	if err != nil {
 		s.o.Counter("server.exec.errors").Add(1)
+		// Classify for telemetry: retry exhaustion (a task burned its
+		// whole attempt budget) and deadline expiry are the two
+		// degraded-service classes the HTTP layer maps to 503.
+		var te *mr.TaskError
+		switch {
+		case errors.As(err, &te):
+			s.o.Counter("server.exec.retry_exhausted").Add(1)
+		case errors.Is(err, context.DeadlineExceeded):
+			s.o.Counter("server.exec.deadline").Add(1)
+		}
 		return nil, err
 	}
 	resp.ExecNs = time.Since(execStart).Nanoseconds()
